@@ -1,0 +1,399 @@
+package xspcl_test
+
+// The benchmark harness regenerating the paper's evaluation. One
+// testing.B benchmark exists per figure:
+//
+//	BenchmarkFig8SequentialOverhead — Figure 8 (XSPCL vs hand-written
+//	    sequential, per application variant)
+//	BenchmarkFig9Speedup            — Figure 9 (speedup on 1..9 nodes)
+//	BenchmarkFig10Reconfiguration   — Figure 10 (reconfiguration overhead)
+//
+// Each benchmark runs the corresponding simulated experiment and
+// reports the figure's headline quantities as custom metrics (overhead
+// percent, speedup, Mcycles), so `go test -bench . -benchmem` prints
+// the paper's numbers alongside the harness cost. Scaled-down
+// geometries keep individual bench iterations manageable; the full
+// paper-scale sweep lives in cmd/experiments.
+//
+// Ablation benchmarks probe the design choices DESIGN.md calls out:
+// pipeline depth, slice count, crossdep vs a full barrier, and stream
+// FIFO capacity.
+
+import (
+	"fmt"
+	"testing"
+
+	"xspcl/internal/apps"
+	"xspcl/internal/components"
+	"xspcl/internal/graph"
+	"xspcl/internal/hinch"
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+	"xspcl/internal/predict"
+)
+
+// benchPiP / benchJPiP / benchBlur are reduced-scale variants used by
+// the per-iteration benchmarks (the sweeps in cmd/experiments use the
+// full paper geometry).
+func benchPiP(pips int) apps.PiPConfig {
+	cfg := apps.DefaultPiP(pips)
+	cfg.Frames = 24
+	return cfg
+}
+
+func benchJPiP(pips int) apps.JPiPConfig {
+	cfg := apps.DefaultJPiP(pips)
+	cfg.Frames = 6
+	return cfg
+}
+
+func benchBlur(taps int) apps.BlurConfig {
+	cfg := apps.DefaultBlur(taps)
+	cfg.Frames = 24
+	return cfg
+}
+
+// BenchmarkFig8SequentialOverhead reproduces Figure 8: one sub-bench
+// per application variant, reporting sequential and XSPCL Mcycles and
+// the overhead percentage.
+func BenchmarkFig8SequentialOverhead(b *testing.B) {
+	variants := []*apps.Variant{
+		apps.NewPiPVariant("PiP-1", benchPiP(1)),
+		apps.NewPiPVariant("PiP-2", benchPiP(2)),
+		apps.NewJPiPVariant("JPiP-1", benchJPiP(1)),
+		apps.NewJPiPVariant("JPiP-2", benchJPiP(2)),
+		apps.NewBlurVariant("Blur-3x3", benchBlur(3)),
+		apps.NewBlurVariant("Blur-5x5", benchBlur(5)),
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			var row apps.Fig8Row
+			for i := 0; i < b.N; i++ {
+				rows, err := apps.RunFig8([]*apps.Variant{v}, apps.RunOptions{Workless: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.OverheadPct, "overhead%")
+			b.ReportMetric(float64(row.SeqCycles)/1e6, "seqMcycles")
+			b.ReportMetric(float64(row.XSPCLCycles)/1e6, "xspclMcycles")
+		})
+	}
+}
+
+// BenchmarkFig9Speedup reproduces Figure 9 for each application at the
+// tile's maximum node count, reporting the speedup.
+func BenchmarkFig9Speedup(b *testing.B) {
+	variants := []*apps.Variant{
+		apps.NewPiPVariant("PiP-1", benchPiP(1)),
+		apps.NewJPiPVariant("JPiP-1", benchJPiP(1)),
+		apps.NewBlurVariant("Blur-5x5", benchBlur(5)),
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				series, err := apps.RunFig9([]*apps.Variant{v}, 9, apps.RunOptions{Workless: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = series[0].Points[8].Speedup
+			}
+			b.ReportMetric(speedup, "speedup@9")
+		})
+	}
+}
+
+// BenchmarkFig10Reconfiguration reproduces Figure 10 at 9 nodes for
+// each reconfigurable variant, reporting the overhead percentage.
+func BenchmarkFig10Reconfiguration(b *testing.B) {
+	type rv struct {
+		name       string
+		reconfig   *apps.Variant
+		staticPair []*apps.Variant
+	}
+	mk := func() []rv {
+		// Scale the toggle period with the reduced frame counts so each
+		// run still reconfigures at the paper's toggles-per-run rate.
+		pipR := benchPiP(1)
+		pipR.Reconfig = true
+		pipR.Every = 8
+		jpR := benchJPiP(1)
+		jpR.Reconfig = true
+		jpR.Every = 3
+		blR := benchBlur(3)
+		blR.Reconfig = true
+		blR.Every = 8
+		return []rv{
+			{"PiP-12", apps.NewPiPVariant("PiP-12", pipR),
+				[]*apps.Variant{apps.NewPiPVariant("PiP-1", benchPiP(1)), apps.NewPiPVariant("PiP-2", benchPiP(2))}},
+			{"JPiP-12", apps.NewJPiPVariant("JPiP-12", jpR),
+				[]*apps.Variant{apps.NewJPiPVariant("JPiP-1", benchJPiP(1)), apps.NewJPiPVariant("JPiP-2", benchJPiP(2))}},
+			{"Blur-35", apps.NewBlurVariant("Blur-35", blR),
+				[]*apps.Variant{apps.NewBlurVariant("Blur-3x3", benchBlur(3)), apps.NewBlurVariant("Blur-5x5", benchBlur(5))}},
+		}
+	}
+	for _, c := range mk() {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var overhead float64
+			var reconfigs int
+			for i := 0; i < b.N; i++ {
+				series, err := apps.RunFig10With(c.reconfig, c.staticPair, 9, apps.RunOptions{Workless: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := series.Points[len(series.Points)-1]
+				overhead = last.OverheadPct
+				reconfigs = last.Reconfigs
+			}
+			b.ReportMetric(overhead, "overhead%@9")
+			b.ReportMetric(float64(reconfigs), "reconfigs")
+		})
+	}
+}
+
+// BenchmarkPipelineDepth ablates the paper's "five iterations are
+// simultaneously scheduled": Blur at 9 cores across pipeline depths.
+func BenchmarkPipelineDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 5} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				v := apps.NewBlurVariant("blur", benchBlur(5))
+				cfg := apps.SimConfig(9, apps.RunOptions{Workless: true, Pipeline: depth})
+				rep, _, err := v.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+			}
+			b.ReportMetric(float64(cycles)/1e6, "Mcycles")
+		})
+	}
+}
+
+// BenchmarkSliceCount ablates the data-parallel slice count of the PiP
+// downscaler/blender around the paper's choice of 8.
+func BenchmarkSliceCount(b *testing.B) {
+	for _, slices := range []int{2, 8, 16} {
+		slices := slices
+		b.Run(fmt.Sprintf("slices%d", slices), func(b *testing.B) {
+			cfg := benchPiP(1)
+			cfg.Slices = slices
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				v := apps.NewPiPVariant("pip", cfg)
+				rep, _, err := v.Run(apps.SimConfig(8, apps.RunOptions{Workless: true}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+			}
+			b.ReportMetric(float64(cycles)/1e6, "Mcycles")
+		})
+	}
+}
+
+// BenchmarkCrossdepVsBarrier ablates the Blur application's non-SP
+// cross dependencies against an SP-conforming full barrier between the
+// two phases (paper §3.3: crossdep exists precisely to avoid that
+// synchronisation point).
+func BenchmarkCrossdepVsBarrier(b *testing.B) {
+	build := func(crossdep bool) *graph.Program {
+		const w, h, slices = 360, 288, 9
+		gb := graph.NewBuilder("blur-ablate")
+		gb.FrameStream("v", w, h)
+		gb.FrameStream("t", w, h)
+		gb.FrameStream("o", w, h)
+		hNode := gb.Component("h", "blurh", graph.Ports{"in": "v", "out": "t"}, graph.Params{"taps": "5"})
+		vNode := gb.Component("vv", "blurv", graph.Ports{"in": "t", "out": "o"}, graph.Params{"taps": "5"})
+		var body *graph.Node
+		if crossdep {
+			body = gb.Parallel(graph.ShapeCrossdep, slices, hNode, vNode)
+		} else {
+			body = gb.Seq(
+				gb.Parallel(graph.ShapeSlice, slices, hNode),
+				gb.Parallel(graph.ShapeSlice, slices, vNode),
+			)
+		}
+		gb.Body(
+			gb.Component("src", "videosrc", graph.Ports{"out": "v"},
+				graph.Params{"width": "360", "height": "288", "frames": "24"}),
+			body,
+			gb.Component("snk", "videosink", graph.Ports{"in": "o"}, nil),
+		)
+		return gb.MustProgram()
+	}
+	for _, crossdep := range []bool{true, false} {
+		name := "barrier"
+		if crossdep {
+			name = "crossdep"
+		}
+		prog := build(crossdep)
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				app, err := hinch.NewApp(prog, components.DefaultRegistry(), hinch.Config{
+					Backend: hinch.BackendSim, Cores: 9, Workless: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := app.Run(24)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+				prog = build(crossdep) // fresh program per app
+			}
+			b.ReportMetric(float64(cycles)/1e6, "Mcycles")
+		})
+	}
+}
+
+// BenchmarkStreamCapacity ablates the stream FIFO backpressure bound.
+func BenchmarkStreamCapacity(b *testing.B) {
+	for _, capacity := range []int{1, 3, 5} {
+		capacity := capacity
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				v := apps.NewPiPVariant("pip", benchPiP(1))
+				cfg := apps.SimConfig(4, apps.RunOptions{Workless: true})
+				cfg.StreamCapacity = capacity
+				rep, _, err := v.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+			}
+			b.ReportMetric(float64(cycles)/1e6, "Mcycles")
+		})
+	}
+}
+
+// BenchmarkPrediction measures the analytic prediction tool itself and
+// reports its 9-node speedup estimate for JPiP.
+func BenchmarkPrediction(b *testing.B) {
+	prog, err := apps.JPiP1().Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		p, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 9, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = p.PerNode[8].Speedup
+	}
+	b.ReportMetric(speedup, "predictedSpeedup@9")
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkIDCTBlock(b *testing.B) {
+	var in, out [64]int32
+	for i := range in {
+		in[i] = int32(i * 3 % 255)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mjpeg.IDCT8x8(&out, &in)
+	}
+}
+
+func BenchmarkJPEGDecodeFrame(b *testing.B) {
+	f := media.NewGenerator(320, 240, 1).Next()
+	enc, err := mjpeg.Encode(f, 75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		if _, err := mjpeg.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticFrame(b *testing.B) {
+	g := media.NewGenerator(720, 576, 1)
+	f := media.NewFrame(720, 576)
+	b.SetBytes(int64(f.Bytes()))
+	for i := 0; i < b.N; i++ {
+		g.Render(f, i)
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw job dispatch on the real
+// backend: a wide sliced graph of trivial components.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	build := func() *graph.Program {
+		gb := graph.NewBuilder("sched")
+		gb.FrameStream("v", 64, 48)
+		gb.Body(
+			gb.Component("src", "videosrc", graph.Ports{"out": "v"},
+				graph.Params{"width": "64", "height": "48", "frames": "64"}),
+			gb.Parallel(graph.ShapeSlice, 16,
+				gb.Component("c", "copyplane", graph.Ports{"in": "v", "out": "v2"}, nil),
+			),
+			gb.Component("snk", "videosink", graph.Ports{"in": "v2"}, nil),
+		)
+		gb.FrameStream("v2", 64, 48)
+		return gb.MustProgram()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app, err := hinch.NewApp(build(), components.DefaultRegistry(), hinch.Config{
+			Backend: hinch.BackendReal, Cores: 4, Workless: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := app.Run(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rep.Jobs)*float64(b.N)/float64(b.Elapsed().Seconds())/1e3, "kjobs/s")
+		}
+	}
+}
+
+// BenchmarkEagerVsLazyCreation ablates the paper's §3.4 design choice
+// of pre-creating option components as soon as the toggle event is
+// detected ("reconfiguration time is reduced") against creating them
+// inside the quiescent window.
+func BenchmarkEagerVsLazyCreation(b *testing.B) {
+	for _, lazy := range []bool{false, true} {
+		name := "eager"
+		if lazy {
+			name = "lazy"
+		}
+		lazy := lazy
+		b.Run(name, func(b *testing.B) {
+			cfg := benchPiP(1)
+			cfg.Reconfig = true
+			cfg.Frames = 48
+			var stall, cycles int64
+			for i := 0; i < b.N; i++ {
+				v := apps.NewPiPVariant("pip-12", cfg)
+				rcfg := apps.SimConfig(8, apps.RunOptions{Workless: true})
+				rcfg.LazyCreation = lazy
+				rep, _, err := v.Run(rcfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stall, cycles = rep.ReconfigStall, rep.Cycles
+			}
+			b.ReportMetric(float64(stall), "stallCycles")
+			b.ReportMetric(float64(cycles)/1e6, "Mcycles")
+		})
+	}
+}

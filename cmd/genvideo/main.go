@@ -1,0 +1,63 @@
+// Command genvideo writes synthetic video inputs to disk: raw planar
+// YUV (I420) or this repository's motion-JPEG container. The paper's
+// applications read proprietary video files; these generated files are
+// the documented substitution.
+//
+//	genvideo -w 720 -h 576 -frames 96 -o bg.yuv
+//	genvideo -w 1280 -h 720 -frames 24 -mjpeg -quality 75 -o pip.mjpg
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+)
+
+func main() {
+	w := flag.Int("w", 720, "frame width")
+	h := flag.Int("h", 576, "frame height")
+	frames := flag.Int("frames", 96, "number of frames")
+	seed := flag.Uint64("seed", 1, "content seed")
+	useMJPEG := flag.Bool("mjpeg", false, "write a motion-JPEG container instead of raw YUV")
+	quality := flag.Int("quality", 75, "JPEG quality for -mjpeg")
+	out := flag.String("o", "", "output file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fail(fmt.Errorf("missing -o output file"))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+
+	seq := media.GenerateSequence(*w, *h, *frames, *seed)
+	if *useMJPEG {
+		encs, err := mjpeg.EncodeSequence(seq, *quality)
+		if err != nil {
+			fail(err)
+		}
+		if err := mjpeg.WriteContainer(bw, encs); err != nil {
+			fail(err)
+		}
+	} else {
+		if err := media.WriteYUVSequence(bw, seq); err != nil {
+			fail(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d frames of %dx%d to %s\n", *frames, *w, *h, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

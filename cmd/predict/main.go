@@ -1,0 +1,61 @@
+// Command predict runs the SPC performance-prediction tool over an
+// XSPCL specification (the PAM-SoC box of the paper's framework
+// figure): it estimates per-iteration work and critical path from the
+// specification alone and prints predicted speedup per node count,
+// the feedback a front-end uses for parallelisation decisions.
+//
+//	predict -builtin JPiP-1 -nodes 9
+//	predict app.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xspcl/internal/apps"
+	"xspcl/internal/predict"
+	"xspcl/internal/xspcl"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 9, "maximum node count")
+	pipeline := flag.Int("pipeline", 5, "pipeline depth assumed by the overlap bound")
+	builtin := flag.String("builtin", "", "analyse a built-in paper application")
+	frac := flag.Float64("frac", 0.95, "fraction of peak speedup for the useful-nodes suggestion")
+	flag.Parse()
+
+	var src, name string
+	if *builtin != "" {
+		v, err := apps.VariantByName(*builtin)
+		if err != nil {
+			fail(err)
+		}
+		src, name = v.XML, v.Name
+	} else {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("usage: predict [flags] <spec.xml> (or -builtin <name>)"))
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	}
+
+	prog, err := xspcl.Load(src)
+	if err != nil {
+		fail(err)
+	}
+	p, err := predict.Predict(prog, nil, predict.NewDefaultModel(), *nodes, *pipeline)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %s", name, p)
+	fmt.Printf("suggested nodes (%.0f%% of peak): %d\n", *frac*100, p.MaxUsefulNodes(*frac))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

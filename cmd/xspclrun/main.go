@@ -1,0 +1,82 @@
+// Command xspclrun loads an XSPCL specification onto the Hinch runtime
+// and executes it.
+//
+//	xspclrun -backend sim -cores 4 -frames 96 app.xml
+//	xspclrun -builtin JPiP-2 -cores 9
+//
+// On the sim backend it reports virtual cycles on the simulated
+// SpaceCAKE tile; on the real backend it reports wall-clock time using
+// worker goroutines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xspcl/internal/apps"
+	"xspcl/internal/components"
+	"xspcl/internal/hinch"
+	"xspcl/internal/xspcl"
+)
+
+func main() {
+	cores := flag.Int("cores", 1, "simulated cores / worker goroutines")
+	frames := flag.Int("frames", 0, "iterations to run (0 = variant default or until EOS)")
+	pipeline := flag.Int("pipeline", 5, "concurrently active iterations")
+	backend := flag.String("backend", "sim", "execution backend: sim or real")
+	builtin := flag.String("builtin", "", "run a built-in paper application (e.g. Blur-35)")
+	workless := flag.Bool("workless", false, "skip kernel computation (sim cost accounting only)")
+	flag.Parse()
+
+	cfg := hinch.Config{Cores: *cores, PipelineDepth: *pipeline, Workless: *workless}
+	switch *backend {
+	case "sim":
+		cfg.Backend = hinch.BackendSim
+	case "real":
+		cfg.Backend = hinch.BackendReal
+	default:
+		fail(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	var src string
+	iters := *frames
+	if *builtin != "" {
+		v, err := apps.VariantByName(*builtin)
+		if err != nil {
+			fail(err)
+		}
+		src = v.XML
+		if iters == 0 {
+			iters = v.Frames
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("usage: xspclrun [flags] <spec.xml> (or -builtin <name>)"))
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	}
+
+	prog, err := xspcl.Load(src)
+	if err != nil {
+		fail(err)
+	}
+	app, err := hinch.NewApp(prog, components.DefaultRegistry(), cfg)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := app.Run(iters)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rep)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

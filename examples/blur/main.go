@@ -1,0 +1,89 @@
+// Gaussian Blur: the paper's third evaluation application. A 3×3 or
+// 5×5 Gaussian kernel (σ=1) is applied to the luminance field of a
+// 360×288 video; the horizontal and vertical phases run in parallel
+// through a crossdep group — the paper's showcase for non-Series-
+// Parallel dependencies (Figure 5): vertical slice i starts as soon as
+// horizontal slices i−1, i, i+1 are done, with no barrier in between.
+//
+// The example compares the crossdep schedule against a plain SP
+// barrier between the phases and writes the blurred video to a file if
+// asked.
+//
+//	go run ./examples/blur [-taps 5] [-cores 9] [-o blurred.yuv]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xspcl"
+	"xspcl/internal/apps"
+	"xspcl/internal/components"
+)
+
+func main() {
+	taps := flag.Int("taps", 5, "kernel size: 3 or 5")
+	cores := flag.Int("cores", 9, "simulated cores")
+	frames := flag.Int("frames", 96, "frames to process")
+	out := flag.String("o", "", "write the blurred video to this YUV file")
+	flag.Parse()
+
+	cfg := apps.DefaultBlur(*taps)
+	cfg.Frames = *frames
+	cfg.Collect = *out != ""
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	prog, err := xspcl.Load(apps.BlurSpec(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if prog.IsSP() {
+		log.Fatal("expected a non-SP (crossdep) graph")
+	}
+	app, err := xspcl.NewApp(prog, xspcl.DefaultRegistry(), xspcl.Config{
+		Backend: xspcl.BackendSim,
+		Cores:   *cores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := app.Run(cfg.Frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crossdep schedule: %v\n", rep)
+
+	seq, err := apps.SeqBlur(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := app.Component("snk").(*components.VideoSink)
+	if sink.Checksum() == seq.Checksum {
+		fmt.Println("output verified against the sequential version")
+	} else {
+		fmt.Println("WARNING: output mismatch")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		for _, fr := range sink.Frames() {
+			if err := xspcl.WriteYUV(bw, fr); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d blurred frames to %s\n", sink.Count(), *out)
+	}
+}

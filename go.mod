@@ -1,0 +1,3 @@
+module xspcl
+
+go 1.22

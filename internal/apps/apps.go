@@ -1,0 +1,108 @@
+// Package apps builds the three applications of the paper's evaluation
+// — Picture-in-Picture (PiP), JPEG Picture-in-Picture (JPiP) and
+// Gaussian Blur — as XSPCL specifications, together with their
+// hand-written fused sequential baselines and the experiment harness
+// that regenerates the paper's Figures 8, 9 and 10.
+//
+// Every application exists in the paper's variants:
+//
+//	PiP-1, PiP-2     static, one or two picture-in-pictures
+//	JPiP-1, JPiP-2   compressed inputs, one or two pictures
+//	Blur-3, Blur-5   3×3 or 5×5 kernel
+//	PiP-12, JPiP-12  toggle the second picture every 12 frames
+//	Blur-35          switch between the kernels every 12 frames
+//
+// The geometry defaults match the paper (§4): PiP 720×576, downscale
+// ×4, 8 slices, 96 frames; JPiP 1280×720, downscale ×16, 45 slices, 24
+// frames; Blur 360×288, 9 slices, 96 frames; pipeline depth 5.
+package apps
+
+import (
+	"fmt"
+
+	"xspcl/internal/components"
+	"xspcl/internal/graph"
+	"xspcl/internal/hinch"
+	"xspcl/internal/xspcl"
+)
+
+// Variant is one runnable configuration of an application.
+type Variant struct {
+	// Name is the paper's label, e.g. "PiP-2".
+	Name string
+	// XML is the full XSPCL specification.
+	XML string
+	// Frames is the number of iterations the paper runs.
+	Frames int
+	// Sink is the instance name of the output sink.
+	Sink string
+	// Seq runs the hand-written fused sequential baseline with the same
+	// inputs, on a one-core simulated tile. Nil for reconfigurable
+	// variants (the paper has no sequential reconfigurable versions).
+	Seq func() (*SeqResult, error)
+	// StaticPair names the static variants whose average runtime is the
+	// Figure-10 denominator for this reconfigurable variant.
+	StaticPair []string
+}
+
+// Program parses and elaborates the variant's XSPCL specification.
+func (v *Variant) Program() (*graph.Program, error) {
+	return xspcl.Load(v.XML)
+}
+
+// NewApp loads the variant onto the Hinch runtime with the standard
+// component registry.
+func (v *Variant) NewApp(cfg hinch.Config) (*hinch.App, error) {
+	prog, err := v.Program()
+	if err != nil {
+		return nil, err
+	}
+	return hinch.NewApp(prog, components.DefaultRegistry(), cfg)
+}
+
+// Run executes the variant for its configured frame count and returns
+// the report plus the sink (for output verification).
+func (v *Variant) Run(cfg hinch.Config) (*hinch.Report, *components.VideoSink, error) {
+	app, err := v.NewApp(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := app.Run(v.Frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink, _ := app.Component(v.Sink).(*components.VideoSink)
+	return rep, sink, nil
+}
+
+// Variants returns all paper variants with default (paper) geometry.
+func Variants() []*Variant {
+	return []*Variant{
+		PiP1(), PiP2(), JPiP1(), JPiP2(), Blur3(), Blur5(),
+		PiP12(), JPiP12(), Blur35(),
+	}
+}
+
+// VariantByName finds a paper variant by label.
+func VariantByName(name string) (*Variant, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown variant %q", name)
+}
+
+// evenDown rounds n down to an even value.
+func evenDown(n int) int { return n &^ 1 }
+
+// pipPos returns the overlay positions for up to two picture-in-
+// pictures on a W×H canvas with a small picture of ow×oh: the first in
+// the bottom-right corner, the second in the top-left.
+func pipPos(w, h, ow, oh int) [2][2]int {
+	const margin = 16
+	return [2][2]int{
+		{evenDown(w - ow - margin), evenDown(h - oh - margin)},
+		{margin, margin},
+	}
+}

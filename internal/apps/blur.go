@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BlurConfig parameterises the Gaussian Blur application.
+type BlurConfig struct {
+	W, H     int // video dimensions
+	Frames   int
+	Slices   int // data-parallel slices per phase
+	Taps     int // 3 (3×3 kernel) or 5 (5×5 kernel) for the static variants
+	Reconfig bool
+	Every    int
+	Collect  bool // sink keeps frame copies (for file output / debugging)
+}
+
+// DefaultBlur returns the paper's Blur configuration (§4: 360×288
+// video, 9 data-parallel slices, 96 frames; σ=1 kernels).
+func DefaultBlur(taps int) BlurConfig {
+	return BlurConfig{W: 360, H: 288, Frames: 96, Slices: 9, Taps: taps, Every: 12}
+}
+
+// Validate checks the configuration.
+func (c BlurConfig) Validate() error {
+	if c.W%2 != 0 || c.H%2 != 0 || c.W <= 0 || c.H <= 0 {
+		return fmt.Errorf("apps: Blur frame %dx%d invalid", c.W, c.H)
+	}
+	if c.Taps != 3 && c.Taps != 5 {
+		return fmt.Errorf("apps: Blur taps %d", c.Taps)
+	}
+	if c.Slices < 1 || c.Frames < 1 {
+		return fmt.Errorf("apps: Blur slices/frames must be positive")
+	}
+	return nil
+}
+
+// BlurSpec generates the XSPCL specification of the Blur application.
+// The horizontal and vertical phases run "in parallel using cross
+// dependencies" (§4 item 3): a crossdep group whose first parblock is
+// the sliced horizontal pass and whose second is the sliced vertical
+// pass, so slice i of the vertical pass starts as soon as slices i−1,
+// i, i+1 of the horizontal pass are done — no full barrier.
+//
+// Each kernel size is an option inside the manager; the static variants
+// enable exactly one, and Blur-35 toggles both on one event.
+func BlurSpec(cfg BlurConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<xspcl name=\"blur\">\n  <streams>\n")
+	fmt.Fprintf(&b, "    <stream name=\"vid\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	for _, taps := range []int{3, 5} {
+		fmt.Fprintf(&b, "    <stream name=\"tmp%d\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", taps, cfg.W, cfg.H)
+	}
+	fmt.Fprintf(&b, "    <stream name=\"blurred\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	fmt.Fprintf(&b, "  </streams>\n  <queues>\n    <queue name=\"ui\"/>\n  </queues>\n")
+
+	// Procedure: one kernel's two phases as a crossdep group.
+	fmt.Fprintf(&b, `  <procedure name="blurpass">
+    <param name="taps"/>
+    <param name="tmp"/>
+    <body>
+      <parallel shape="crossdep" n="%d">
+        <parblock>
+          <component name="h" class="blurh">
+            <stream port="in" name="vid"/>
+            <stream port="out" name="$tmp"/>
+            <init name="taps" value="$taps"/>
+          </component>
+        </parblock>
+        <parblock>
+          <component name="v" class="blurv">
+            <stream port="in" name="$tmp"/>
+            <stream port="out" name="blurred"/>
+            <init name="taps" value="$taps"/>
+          </component>
+        </parblock>
+      </parallel>
+    </body>
+  </procedure>
+`, cfg.Slices)
+
+	// Main.
+	b.WriteString("  <procedure name=\"main\">\n    <body>\n")
+	b.WriteString("      <parallel shape=\"task\">\n")
+	if cfg.Reconfig {
+		fmt.Fprintf(&b, `        <parblock>
+          <component name="uitrig" class="trigger">
+            <init name="queue" value="ui"/>
+            <init name="event" value="switch"/>
+            <init name="every" value="%d"/>
+            <init name="start" value="%d"/>
+          </component>
+        </parblock>
+`, cfg.Every, cfg.Every-1)
+	}
+	fmt.Fprintf(&b, `        <parblock>
+          <component name="src" class="videosrc">
+            <stream port="out" name="vid"/>
+            <init name="width" value="%d"/>
+            <init name="height" value="%d"/>
+            <init name="frames" value="%d"/>
+            <init name="seed" value="1"/>
+          </component>
+        </parblock>
+      </parallel>
+`, cfg.W, cfg.H, cfg.Frames)
+
+	on3, on5 := "on", "off"
+	if cfg.Taps == 5 {
+		on3, on5 = "off", "on"
+	}
+	b.WriteString(`      <manager name="mgr" queue="ui">
+        <on event="switch" action="toggle" option="blur3"/>
+        <on event="switch" action="toggle" option="blur5"/>
+`)
+	fmt.Fprintf(&b, `        <body>
+          <option name="blur3" default="%s">
+            <body>
+              <call name="k3" procedure="blurpass">
+                <arg name="taps" value="3"/>
+                <arg name="tmp" value="tmp3"/>
+              </call>
+            </body>
+          </option>
+          <option name="blur5" default="%s">
+            <body>
+              <call name="k5" procedure="blurpass">
+                <arg name="taps" value="5"/>
+                <arg name="tmp" value="tmp5"/>
+              </call>
+            </body>
+          </option>
+        </body>
+      </manager>
+      <component name="snk" class="videosink">
+        <stream port="in" name="blurred"/>
+        <init name="collect" value="%s"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>
+`, on3, on5, collectFlag(cfg.Collect))
+	return b.String()
+}
+
+// NewBlurVariant assembles a Variant from a Blur configuration.
+func NewBlurVariant(name string, cfg BlurConfig) *Variant {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := &Variant{
+		Name:   name,
+		XML:    BlurSpec(cfg),
+		Frames: cfg.Frames,
+		Sink:   "snk",
+	}
+	if !cfg.Reconfig {
+		c := cfg
+		v.Seq = func() (*SeqResult, error) { return SeqBlur(c) }
+	}
+	return v
+}
+
+// Blur3 is the paper's Blur-3x3 variant.
+func Blur3() *Variant { return NewBlurVariant("Blur-3x3", DefaultBlur(3)) }
+
+// Blur5 is the paper's Blur-5x5 variant.
+func Blur5() *Variant { return NewBlurVariant("Blur-5x5", DefaultBlur(5)) }
+
+// Blur35 is the paper's Blur-35: switches between the 3×3 and 5×5
+// kernels every 12 frames.
+func Blur35() *Variant {
+	cfg := DefaultBlur(3)
+	cfg.Reconfig = true
+	v := NewBlurVariant("Blur-35", cfg)
+	v.StaticPair = []string{"Blur-3x3", "Blur-5x5"}
+	return v
+}

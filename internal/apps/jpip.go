@@ -1,0 +1,303 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JPiPConfig parameterises the JPEG Picture-in-Picture application.
+type JPiPConfig struct {
+	W, H     int // canvas (and input video) dimensions
+	Frames   int
+	Factor   int // downscale factor for the inset pictures
+	Slices   int // data-parallel slices for IDCT, downscaler, blender
+	Quality  int // JPEG quality of the synthetic inputs
+	Pips     int
+	Reconfig bool
+	Every    int
+	Collect  bool // sink keeps frame copies (for file output / debugging)
+}
+
+// DefaultJPiP returns the paper's JPiP configuration (§4: 1280×720
+// input images, downscale ×16, 45 slices, 24 frames — "because of
+// limited simulation speed, the JPiP application processes 24 image
+// frames").
+func DefaultJPiP(pips int) JPiPConfig {
+	return JPiPConfig{W: 1280, H: 720, Frames: 24, Factor: 16, Slices: 45, Quality: 75, Pips: pips, Every: 12}
+}
+
+// smallDims returns the inset picture dimensions: the largest even
+// geometry whose upscaled extent fits the source (1280×720 / 16 →
+// 80×44, using 704 of the 720 rows).
+func (c JPiPConfig) smallDims() (ow, oh int) {
+	return evenDown(c.W / c.Factor), evenDown(c.H / c.Factor)
+}
+
+// Validate checks the geometry constraints.
+func (c JPiPConfig) Validate() error {
+	if c.W%16 != 0 || c.H%16 != 0 {
+		return fmt.Errorf("apps: JPiP frame %dx%d not macroblock aligned", c.W, c.H)
+	}
+	ow, oh := c.smallDims()
+	if ow < 2 || oh < 2 {
+		return fmt.Errorf("apps: JPiP factor %d too large for %dx%d", c.Factor, c.W, c.H)
+	}
+	if c.Factor%2 != 0 {
+		return fmt.Errorf("apps: JPiP factor must be even for chroma alignment")
+	}
+	if c.Pips < 1 || c.Pips > 2 {
+		return fmt.Errorf("apps: JPiP needs 1 or 2 pictures")
+	}
+	if c.Slices < 1 || c.Frames < 1 || c.Quality < 1 || c.Quality > 100 {
+		return fmt.Errorf("apps: JPiP bad slices/frames/quality")
+	}
+	return nil
+}
+
+// packetCap estimates the compressed-frame buffer capacity for the
+// packet streams' simulated regions (~1 bit/pixel at default quality).
+func (c JPiPConfig) packetCap() int {
+	return c.W * c.H / 4
+}
+
+// JPiPSpec generates the XSPCL specification of the JPiP application,
+// matching the paper's Figure 7 structure: MJPEG input → JPEG decode →
+// per-plane IDCT (sliced) → per-plane downscale (sliced, inset only) →
+// per-plane blend (sliced), with the background's IDCT writing straight
+// into the composite frame.
+func JPiPSpec(cfg JPiPConfig) string {
+	ow, oh := cfg.smallDims()
+	pos := pipPos(cfg.W, cfg.H, ow, oh)
+	hasPip2 := cfg.Pips == 2 || cfg.Reconfig
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<xspcl name=\"jpip\">\n  <streams>\n")
+	fmt.Fprintf(&b, "    <stream name=\"bgpk\" type=\"packet\" cap=\"%d\"/>\n", cfg.packetCap())
+	fmt.Fprintf(&b, "    <stream name=\"bgcf\" type=\"coeff\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	fmt.Fprintf(&b, "    <stream name=\"composite\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	for i := 1; i <= 2; i++ {
+		if i == 2 && !hasPip2 {
+			break
+		}
+		fmt.Fprintf(&b, "    <stream name=\"pippk%d\" type=\"packet\" cap=\"%d\"/>\n", i, cfg.packetCap())
+		fmt.Fprintf(&b, "    <stream name=\"pipcf%d\" type=\"coeff\" width=\"%d\" height=\"%d\"/>\n", i, cfg.W, cfg.H)
+		fmt.Fprintf(&b, "    <stream name=\"pipframe%d\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", i, cfg.W, cfg.H)
+		fmt.Fprintf(&b, "    <stream name=\"small%d\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", i, ow, oh)
+	}
+	fmt.Fprintf(&b, "  </streams>\n  <queues>\n    <queue name=\"ui\"/>\n  </queues>\n")
+
+	// Procedure: sliced per-plane IDCT trio.
+	fmt.Fprintf(&b, `  <procedure name="idcttrio">
+    <param name="cf"/>
+    <param name="frame"/>
+    <body>
+`)
+	planeTrio(&b, cfg.Slices, func(b *strings.Builder, plane string) {
+		fmt.Fprintf(b, `          <component name="idct%s" class="idct">
+            <stream port="in" name="$cf"/>
+            <stream port="out" name="$frame"/>
+            <init name="plane" value="%s"/>
+          </component>
+`, plane, plane)
+	})
+	b.WriteString("    </body>\n  </procedure>\n")
+
+	// Procedure: sliced per-plane downscale trio.
+	fmt.Fprintf(&b, `  <procedure name="dstrio">
+    <param name="vid"/>
+    <param name="small"/>
+    <body>
+`)
+	planeTrio(&b, cfg.Slices, func(b *strings.Builder, plane string) {
+		fmt.Fprintf(b, `          <component name="ds%s" class="downscale">
+            <stream port="in" name="$vid"/>
+            <stream port="out" name="$small"/>
+            <init name="plane" value="%s"/>
+            <init name="factor" value="%d"/>
+          </component>
+`, plane, plane, cfg.Factor)
+	})
+	b.WriteString("    </body>\n  </procedure>\n")
+
+	// Procedure: sliced per-plane blend trio.
+	fmt.Fprintf(&b, `  <procedure name="blendtrio">
+    <param name="small"/>
+    <param name="x"/>
+    <param name="y"/>
+    <body>
+`)
+	planeTrio(&b, cfg.Slices, func(b *strings.Builder, plane string) {
+		fmt.Fprintf(b, `          <component name="blend%s" class="blend">
+            <stream port="small" name="$small"/>
+            <stream port="canvas" name="composite"/>
+            <stream port="out" name="composite"/>
+            <init name="plane" value="%s"/>
+            <init name="x" value="$x"/>
+            <init name="y" value="$y"/>
+          </component>
+`, plane, plane)
+	})
+	b.WriteString("    </body>\n  </procedure>\n")
+
+	// Procedure: one inset picture's decode chain (its blend runs after
+	// the barrier that also covers the background IDCT, because it
+	// updates the composite in place).
+	fmt.Fprintf(&b, `  <procedure name="decchain">
+    <param name="pk"/>
+    <param name="cf"/>
+    <param name="frame"/>
+    <param name="small"/>
+    <body>
+      <component name="dec" class="jpegdecode">
+        <stream port="in" name="$pk"/>
+        <stream port="out" name="$cf"/>
+        <init name="width" value="%d"/>
+        <init name="height" value="%d"/>
+      </component>
+      <call name="i" procedure="idcttrio">
+        <arg name="cf" value="$cf"/>
+        <arg name="frame" value="$frame"/>
+      </call>
+      <call name="s" procedure="dstrio">
+        <arg name="vid" value="$frame"/>
+        <arg name="small" value="$small"/>
+      </call>
+    </body>
+  </procedure>
+`, cfg.W, cfg.H)
+
+	// Main.
+	b.WriteString("  <procedure name=\"main\">\n    <body>\n")
+	b.WriteString("      <parallel shape=\"task\">\n")
+	if cfg.Reconfig {
+		fmt.Fprintf(&b, `        <parblock>
+          <component name="uitrig" class="trigger">
+            <init name="queue" value="ui"/>
+            <init name="event" value="toggle2"/>
+            <init name="every" value="%d"/>
+            <init name="start" value="%d"/>
+          </component>
+        </parblock>
+`, cfg.Every, cfg.Every-1)
+	}
+	srcXML := func(name, stream string, seed int, eos string) string {
+		return fmt.Sprintf(`          <component name="%s" class="mjpegsrc">
+            <stream port="out" name="%s"/>
+            <init name="width" value="%d"/>
+            <init name="height" value="%d"/>
+            <init name="frames" value="%d"/>
+            <init name="quality" value="%d"/>
+            <init name="seed" value="%d"/>
+            <init name="eos" value="%s"/>
+          </component>
+`, name, stream, cfg.W, cfg.H, cfg.Frames, cfg.Quality, seed, eos)
+	}
+	b.WriteString("        <parblock>\n" + srcXML("bgsrc", "bgpk", 1, "1") + "        </parblock>\n")
+	b.WriteString("        <parblock>\n" + srcXML("pipsrc1", "pippk1", 2, "1") + "        </parblock>\n")
+	b.WriteString("      </parallel>\n")
+
+	b.WriteString("      <manager name=\"mgr\" queue=\"ui\">\n")
+	if hasPip2 {
+		b.WriteString("        <on event=\"toggle2\" action=\"toggle\" option=\"pip2\"/>\n")
+	}
+	b.WriteString("        <body>\n")
+	// The background chain (decode + IDCT straight into the composite)
+	// runs task-parallel with the first inset picture's decode chain;
+	// the blend follows the barrier because it updates the composite in
+	// place.
+	fmt.Fprintf(&b, `          <parallel shape="task">
+            <parblock>
+              <component name="bgdec" class="jpegdecode">
+                <stream port="in" name="bgpk"/>
+                <stream port="out" name="bgcf"/>
+                <init name="width" value="%d"/>
+                <init name="height" value="%d"/>
+              </component>
+              <call name="bgidct" procedure="idcttrio">
+                <arg name="cf" value="bgcf"/>
+                <arg name="frame" value="composite"/>
+              </call>
+            </parblock>
+            <parblock>
+              <call name="p1" procedure="decchain">
+                <arg name="pk" value="pippk1"/>
+                <arg name="cf" value="pipcf1"/>
+                <arg name="frame" value="pipframe1"/>
+                <arg name="small" value="small1"/>
+              </call>
+            </parblock>
+          </parallel>
+          <call name="p1b" procedure="blendtrio">
+            <arg name="small" value="small1"/>
+            <arg name="x" value="%d"/>
+            <arg name="y" value="%d"/>
+          </call>
+`, cfg.W, cfg.H, pos[0][0], pos[0][1])
+	if hasPip2 {
+		def := "off"
+		if cfg.Pips == 2 {
+			def = "on"
+		}
+		fmt.Fprintf(&b, `          <option name="pip2" default="%s">
+            <body>
+%s              <call name="p2" procedure="decchain">
+                <arg name="pk" value="pippk2"/>
+                <arg name="cf" value="pipcf2"/>
+                <arg name="frame" value="pipframe2"/>
+                <arg name="small" value="small2"/>
+              </call>
+              <call name="p2b" procedure="blendtrio">
+                <arg name="small" value="small2"/>
+                <arg name="x" value="%d"/>
+                <arg name="y" value="%d"/>
+              </call>
+            </body>
+          </option>
+`, def, srcXML("pipsrc2", "pippk2", 3, "0"), pos[1][0], pos[1][1])
+	}
+	fmt.Fprintf(&b, `        </body>
+      </manager>
+      <component name="snk" class="videosink">
+        <stream port="in" name="composite"/>
+        <init name="collect" value="%s"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>
+`, collectFlag(cfg.Collect))
+	return b.String()
+}
+
+// NewJPiPVariant assembles a Variant from a JPiP configuration.
+func NewJPiPVariant(name string, cfg JPiPConfig) *Variant {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := &Variant{
+		Name:   name,
+		XML:    JPiPSpec(cfg),
+		Frames: cfg.Frames,
+		Sink:   "snk",
+	}
+	if !cfg.Reconfig {
+		c := cfg
+		v.Seq = func() (*SeqResult, error) { return SeqJPiP(c) }
+	}
+	return v
+}
+
+// JPiP1 is the paper's JPiP-1: compressed inputs, one inset picture.
+func JPiP1() *Variant { return NewJPiPVariant("JPiP-1", DefaultJPiP(1)) }
+
+// JPiP2 is the paper's JPiP-2: two inset pictures.
+func JPiP2() *Variant { return NewJPiPVariant("JPiP-2", DefaultJPiP(2)) }
+
+// JPiP12 is the paper's JPiP-12: toggles the second inset picture
+// every 12 frames.
+func JPiP12() *Variant {
+	cfg := DefaultJPiP(1)
+	cfg.Reconfig = true
+	v := NewJPiPVariant("JPiP-12", cfg)
+	v.StaticPair = []string{"JPiP-1", "JPiP-2"}
+	return v
+}

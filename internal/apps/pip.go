@@ -1,0 +1,264 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PiPConfig parameterises the Picture-in-Picture application.
+type PiPConfig struct {
+	W, H     int // canvas (and input video) dimensions
+	Frames   int // frames to process
+	Factor   int // downscale factor for the inset pictures
+	Slices   int // data-parallel slices for downscaler and blender
+	Pips     int // static picture-in-picture count (1 or 2)
+	Reconfig bool
+	Every    int  // toggle period for the reconfigurable variant
+	Collect  bool // sink keeps frame copies (for file output / debugging)
+}
+
+// DefaultPiP returns the paper's PiP configuration (§4: 720×576 frames,
+// downscale ×4, 8 slices, 96 frames).
+func DefaultPiP(pips int) PiPConfig {
+	return PiPConfig{W: 720, H: 576, Frames: 96, Factor: 4, Slices: 8, Pips: pips, Every: 12}
+}
+
+// Validate checks the geometry constraints of the configuration.
+func (c PiPConfig) Validate() error {
+	if c.W%16 != 0 || c.H%16 != 0 {
+		return fmt.Errorf("apps: PiP frame %dx%d not macroblock aligned", c.W, c.H)
+	}
+	if c.Factor < 2 || c.W%c.Factor != 0 || c.H%c.Factor != 0 {
+		return fmt.Errorf("apps: PiP factor %d does not divide %dx%d", c.Factor, c.W, c.H)
+	}
+	if (c.W/c.Factor)%2 != 0 || (c.H/c.Factor)%2 != 0 {
+		return fmt.Errorf("apps: PiP small picture %dx%d not even", c.W/c.Factor, c.H/c.Factor)
+	}
+	if c.Pips < 1 || c.Pips > 2 {
+		return fmt.Errorf("apps: PiP needs 1 or 2 pictures, got %d", c.Pips)
+	}
+	if c.Slices < 1 || c.Frames < 1 {
+		return fmt.Errorf("apps: PiP slices/frames must be positive")
+	}
+	return nil
+}
+
+// planeTrio renders a task-parallel group of the per-color-field
+// instances of a sliced component (the paper exploits task parallelism
+// "by processing the various color fields in the images concurrently"
+// and data parallelism by slicing each field's component).
+func planeTrio(b *strings.Builder, slices int, inner func(b *strings.Builder, plane string)) {
+	fmt.Fprintf(b, "      <parallel shape=\"task\">\n")
+	for _, plane := range []string{"Y", "U", "V"} {
+		fmt.Fprintf(b, "        <parblock><parallel shape=\"slice\" n=\"%d\"><parblock>\n", slices)
+		inner(b, plane)
+		fmt.Fprintf(b, "        </parblock></parallel></parblock>\n")
+	}
+	fmt.Fprintf(b, "      </parallel>\n")
+}
+
+// PiPSpec generates the XSPCL specification of the PiP application.
+// The second picture-in-picture is an <option> inside a <manager>; the
+// static PiP-2 enables it by default, the reconfigurable PiP-12 toggles
+// it from a trigger component every cfg.Every frames.
+func PiPSpec(cfg PiPConfig) string {
+	ow, oh := cfg.W/cfg.Factor, cfg.H/cfg.Factor
+	pos := pipPos(cfg.W, cfg.H, ow, oh)
+	hasPip2 := cfg.Pips == 2 || cfg.Reconfig
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<xspcl name=\"pip\">\n  <streams>\n")
+	fmt.Fprintf(&b, "    <stream name=\"bg\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	fmt.Fprintf(&b, "    <stream name=\"composite\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	fmt.Fprintf(&b, "    <stream name=\"pipvid1\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+	fmt.Fprintf(&b, "    <stream name=\"small1\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", ow, oh)
+	if hasPip2 {
+		fmt.Fprintf(&b, "    <stream name=\"pipvid2\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", cfg.W, cfg.H)
+		fmt.Fprintf(&b, "    <stream name=\"small2\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", ow, oh)
+	}
+	fmt.Fprintf(&b, "  </streams>\n  <queues>\n    <queue name=\"ui\"/>\n  </queues>\n")
+
+	// Procedure: the downscale trio for one inset picture.
+	fmt.Fprintf(&b, `  <procedure name="dstrio">
+    <param name="vid"/>
+    <param name="small"/>
+`)
+	b.WriteString("    <body>\n")
+	planeTrio(&b, cfg.Slices, func(b *strings.Builder, plane string) {
+		fmt.Fprintf(b, `          <component name="ds%s" class="downscale">
+            <stream port="in" name="$vid"/>
+            <stream port="out" name="$small"/>
+            <init name="plane" value="%s"/>
+            <init name="factor" value="%d"/>
+          </component>
+`, plane, plane, cfg.Factor)
+	})
+	b.WriteString("    </body>\n  </procedure>\n")
+
+	// Procedure: the blend trio for one inset picture.
+	fmt.Fprintf(&b, `  <procedure name="blendtrio">
+    <param name="small"/>
+    <param name="x"/>
+    <param name="y"/>
+`)
+	b.WriteString("    <body>\n")
+	planeTrio(&b, cfg.Slices, func(b *strings.Builder, plane string) {
+		fmt.Fprintf(b, `          <component name="blend%s" class="blend">
+            <stream port="small" name="$small"/>
+            <stream port="canvas" name="composite"/>
+            <stream port="out" name="composite"/>
+            <init name="plane" value="%s"/>
+            <init name="x" value="$x"/>
+            <init name="y" value="$y"/>
+          </component>
+`, plane, plane)
+	})
+	b.WriteString("    </body>\n  </procedure>\n")
+
+	// Main.
+	b.WriteString("  <procedure name=\"main\">\n    <body>\n")
+	b.WriteString("      <parallel shape=\"task\">\n")
+	if cfg.Reconfig {
+		fmt.Fprintf(&b, `        <parblock>
+          <component name="uitrig" class="trigger">
+            <init name="queue" value="ui"/>
+            <init name="event" value="toggle2"/>
+            <init name="every" value="%d"/>
+            <init name="start" value="%d"/>
+          </component>
+        </parblock>
+`, cfg.Every, cfg.Every-1)
+	}
+	fmt.Fprintf(&b, `        <parblock>
+          <component name="bgsrc" class="videosrc">
+            <stream port="out" name="bg"/>
+            <init name="width" value="%d"/>
+            <init name="height" value="%d"/>
+            <init name="frames" value="%d"/>
+            <init name="seed" value="1"/>
+          </component>
+        </parblock>
+        <parblock>
+          <component name="pipsrc1" class="videosrc">
+            <stream port="out" name="pipvid1"/>
+            <init name="width" value="%d"/>
+            <init name="height" value="%d"/>
+            <init name="frames" value="%d"/>
+            <init name="seed" value="2"/>
+          </component>
+        </parblock>
+      </parallel>
+`, cfg.W, cfg.H, cfg.Frames, cfg.W, cfg.H, cfg.Frames)
+
+	// The manager encloses the processing pipeline; the second picture
+	// is its option.
+	b.WriteString("      <manager name=\"mgr\" queue=\"ui\">\n")
+	if hasPip2 {
+		b.WriteString("        <on event=\"toggle2\" action=\"toggle\" option=\"pip2\"/>\n")
+	}
+	b.WriteString("        <body>\n          <parallel shape=\"task\">\n")
+	for _, plane := range []string{"Y", "U", "V"} {
+		fmt.Fprintf(&b, `            <parblock>
+              <component name="copy%s" class="copyplane">
+                <stream port="in" name="bg"/>
+                <stream port="out" name="composite"/>
+                <init name="plane" value="%s"/>
+              </component>
+            </parblock>
+`, plane, plane)
+	}
+	b.WriteString(`            <parblock>
+              <call name="p1s" procedure="dstrio">
+                <arg name="vid" value="pipvid1"/>
+                <arg name="small" value="small1"/>
+              </call>
+            </parblock>
+          </parallel>
+`)
+	fmt.Fprintf(&b, `          <call name="p1b" procedure="blendtrio">
+            <arg name="small" value="small1"/>
+            <arg name="x" value="%d"/>
+            <arg name="y" value="%d"/>
+          </call>
+`, pos[0][0], pos[0][1])
+	if hasPip2 {
+		def := "off"
+		if cfg.Pips == 2 {
+			def = "on"
+		}
+		fmt.Fprintf(&b, `          <option name="pip2" default="%s">
+            <body>
+              <component name="pipsrc2" class="videosrc">
+                <stream port="out" name="pipvid2"/>
+                <init name="width" value="%d"/>
+                <init name="height" value="%d"/>
+                <init name="frames" value="%d"/>
+                <init name="seed" value="3"/>
+                <init name="eos" value="0"/>
+              </component>
+              <call name="p2s" procedure="dstrio">
+                <arg name="vid" value="pipvid2"/>
+                <arg name="small" value="small2"/>
+              </call>
+              <call name="p2b" procedure="blendtrio">
+                <arg name="small" value="small2"/>
+                <arg name="x" value="%d"/>
+                <arg name="y" value="%d"/>
+              </call>
+            </body>
+          </option>
+`, def, cfg.W, cfg.H, cfg.Frames, pos[1][0], pos[1][1])
+	}
+	fmt.Fprintf(&b, `        </body>
+      </manager>
+      <component name="snk" class="videosink">
+        <stream port="in" name="composite"/>
+        <init name="collect" value="%s"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>
+`, collectFlag(cfg.Collect))
+	return b.String()
+}
+
+func collectFlag(on bool) string {
+	if on {
+		return "1"
+	}
+	return "0"
+}
+
+// NewPiPVariant assembles a Variant from a PiP configuration.
+func NewPiPVariant(name string, cfg PiPConfig) *Variant {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	v := &Variant{
+		Name:   name,
+		XML:    PiPSpec(cfg),
+		Frames: cfg.Frames,
+		Sink:   "snk",
+	}
+	if !cfg.Reconfig {
+		c := cfg
+		v.Seq = func() (*SeqResult, error) { return SeqPiP(c) }
+	}
+	return v
+}
+
+// PiP1 is the paper's PiP-1: one picture-in-picture.
+func PiP1() *Variant { return NewPiPVariant("PiP-1", DefaultPiP(1)) }
+
+// PiP2 is the paper's PiP-2: two picture-in-pictures.
+func PiP2() *Variant { return NewPiPVariant("PiP-2", DefaultPiP(2)) }
+
+// PiP12 is the paper's PiP-12: starts with one picture-in-picture and
+// toggles the second every 12 frames.
+func PiP12() *Variant {
+	cfg := DefaultPiP(1)
+	cfg.Reconfig = true
+	v := NewPiPVariant("PiP-12", cfg)
+	v.StaticPair = []string{"PiP-1", "PiP-2"}
+	return v
+}

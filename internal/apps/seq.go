@@ -1,0 +1,287 @@
+package apps
+
+import (
+	"xspcl/internal/components"
+	"xspcl/internal/hinch"
+	"xspcl/internal/kernels"
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+	"xspcl/internal/spacecake"
+)
+
+// SeqResult is the outcome of a hand-written sequential baseline run on
+// a one-core simulated tile.
+type SeqResult struct {
+	Cycles   int64
+	Frames   int
+	Checksum uint64
+	Cache    spacecake.Stats
+}
+
+// seqMachine accounts the cost of a sequential program: one core, no
+// runtime, no job overhead. Intermediates the fused code keeps in
+// registers or L1-resident scratch are simply not charged to the memory
+// system — that is the whole point of fusing.
+type seqMachine struct {
+	tile   *spacecake.Tile
+	addr   *spacecake.AddressSpace
+	cycles int64
+	chk    uint64
+}
+
+func newSeqMachine() *seqMachine {
+	return &seqMachine{
+		tile: spacecake.NewTile(spacecake.DefaultConfig(1)),
+		addr: spacecake.NewAddressSpace(),
+	}
+}
+
+func (m *seqMachine) ops(n int64) { m.cycles += n }
+
+func (m *seqMachine) access(r spacecake.Region, write bool) {
+	m.cycles += m.tile.AccessRegion(0, r, write)
+}
+
+// accessStreamed models DMA/burst file traffic, mirroring the XSPCL
+// sources' and sink's streamed accesses.
+func (m *seqMachine) accessStreamed(r spacecake.Region) {
+	m.cycles += m.tile.AccessStreamed(0, r)
+}
+
+// sinkFold replicates components.VideoSink's checksum folding so the
+// baselines' output can be compared bit-for-bit with the XSPCL runs.
+func (m *seqMachine) sinkFold(f *media.Frame) {
+	m.chk = m.chk*1099511628211 ^ media.Checksum(f)
+}
+
+// emit models writing a finished frame to the output file, exactly as
+// the XSPCL sink charges it.
+func (m *seqMachine) emit(f *media.Frame, buf spacecake.Region, outFile spacecake.Region) {
+	m.sinkFold(f)
+	m.ops(kernels.CopyOps(f.Bytes()))
+	m.access(buf, false)
+	n := int64(f.Bytes())
+	if n > outFile.Bytes {
+		n = outFile.Bytes
+	}
+	m.accessStreamed(outFile.Sub(0, n))
+}
+
+func (m *seqMachine) result(frames int) *SeqResult {
+	return &SeqResult{Cycles: m.cycles, Frames: frames, Checksum: m.chk, Cache: m.tile.Stats()}
+}
+
+// planeRegion maps a plane row range of a frame-sized buffer region.
+func planeRegion(buf spacecake.Region, w, h int, pl media.PlaneID, r0, r1 int) spacecake.Region {
+	return hinch.FramePlaneRegion(buf, w, h, pl, r0, r1)
+}
+
+// SeqPiP is the hand-written sequential PiP: it reads the background
+// straight into the composite buffer and fuses downscaling and blending
+// into a single pass ("the sequential versions of PiP and JPiP combine
+// several operations, for example down scaling and blending, into a
+// single function"), so no small-picture intermediate is ever
+// materialised.
+func SeqPiP(cfg PiPConfig) (*SeqResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newSeqMachine()
+	frameBytes := int64(cfg.W*cfg.H) * 3 / 2
+	bgFile := m.addr.Alloc(int64(cfg.Frames) * frameBytes)
+	pipFiles := make([]spacecake.Region, cfg.Pips)
+	pipBufs := make([]spacecake.Region, cfg.Pips)
+	gens := make([]*media.Generator, cfg.Pips)
+	for i := range pipFiles {
+		pipFiles[i] = m.addr.Alloc(int64(cfg.Frames) * frameBytes)
+		pipBufs[i] = m.addr.Alloc(frameBytes)
+		gens[i] = media.NewGenerator(cfg.W, cfg.H, uint64(2+i))
+	}
+	outBuf := m.addr.Alloc(frameBytes)
+	outFile := m.addr.Alloc(1 << 20)
+	bgGen := media.NewGenerator(cfg.W, cfg.H, 1)
+
+	ow, oh := cfg.W/cfg.Factor, cfg.H/cfg.Factor
+	pos := pipPos(cfg.W, cfg.H, ow, oh)
+	out := media.NewFrame(cfg.W, cfg.H)
+	pipf := media.NewFrame(cfg.W, cfg.H)
+
+	for n := 0; n < cfg.Frames; n++ {
+		// fread(background) straight into the composite buffer.
+		bgGen.Render(out, n)
+		m.ops(kernels.CopyOps(out.Bytes()))
+		m.accessStreamed(bgFile.Sub(int64(n)*frameBytes, frameBytes))
+		m.access(outBuf, true)
+
+		for i := 0; i < cfg.Pips; i++ {
+			// fread(pip video) into its frame buffer.
+			gens[i].Render(pipf, n)
+			m.ops(kernels.CopyOps(pipf.Bytes()))
+			m.accessStreamed(pipFiles[i].Sub(int64(n)*frameBytes, frameBytes))
+			m.access(pipBufs[i], true)
+
+			// Fused downscale+blend into the composite window.
+			x, y := pos[i][0], pos[i][1]
+			for _, pl := range media.Planes {
+				src, sw, sh := pipf.Plane(pl)
+				dst, dw, _ := out.Plane(pl)
+				pw, ph := media.PlaneDims(pl, ow, oh)
+				px, py := x, y
+				if pl != media.PlaneY {
+					px, py = x/2, y/2
+				}
+				kernels.DownscaleWindow(dst, dw, px, py, pw, ph, src, sw, sh, cfg.Factor, 0, ph)
+				m.ops(kernels.DownscaleOps(pw*ph, cfg.Factor))
+				m.access(planeRegion(pipBufs[i], cfg.W, cfg.H, pl, 0, ph*cfg.Factor), false)
+				m.access(planeRegion(outBuf, cfg.W, cfg.H, pl, py, py+ph), true)
+			}
+		}
+		m.emit(out, outBuf, outFile)
+	}
+	return m.result(cfg.Frames), nil
+}
+
+// SeqJPiP is the hand-written sequential JPiP. The decoder is fused: it
+// entropy-decodes and inverse-transforms block by block, so the
+// coefficient planes never leave scratch memory and are not charged to
+// the memory system — which is why the sequential version has far fewer
+// cache misses than the component version (paper §4.1). Downscale and
+// blend are fused as in SeqPiP.
+func SeqJPiP(cfg JPiPConfig) (*SeqResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bgPk, err := components.EncodedSequence(cfg.W, cfg.H, cfg.Frames, cfg.Quality, 1)
+	if err != nil {
+		return nil, err
+	}
+	pipPk := make([][][]byte, cfg.Pips)
+	for i := 0; i < cfg.Pips; i++ {
+		if pipPk[i], err = components.EncodedSequence(cfg.W, cfg.H, cfg.Frames, cfg.Quality, uint64(2+i)); err != nil {
+			return nil, err
+		}
+	}
+
+	m := newSeqMachine()
+	frameBytes := int64(cfg.W*cfg.H) * 3 / 2
+	bgFile := m.addr.Alloc(totalLen(bgPk))
+	pipFiles := make([]spacecake.Region, cfg.Pips)
+	pipBufs := make([]spacecake.Region, cfg.Pips)
+	for i := range pipFiles {
+		pipFiles[i] = m.addr.Alloc(totalLen(pipPk[i]))
+		pipBufs[i] = m.addr.Alloc(frameBytes)
+	}
+	outBuf := m.addr.Alloc(frameBytes)
+	outFile := m.addr.Alloc(1 << 20)
+
+	ow, oh := cfg.smallDims()
+	pos := pipPos(cfg.W, cfg.H, ow, oh)
+
+	for n := 0; n < cfg.Frames; n++ {
+		// Decode the background straight into the composite buffer.
+		out, stats, err := mjpeg.DecodeWithStats(bgPk[n])
+		if err != nil {
+			return nil, err
+		}
+		m.ops(mjpeg.EntropyOps(stats) + mjpeg.IDCTOps(out.Bytes()))
+		m.accessStreamed(bgFile.Sub(offsetOf(bgPk, n), int64(len(bgPk[n]))))
+		m.access(outBuf, true)
+
+		for i := 0; i < cfg.Pips; i++ {
+			pipf, stats, err := mjpeg.DecodeWithStats(pipPk[i][n])
+			if err != nil {
+				return nil, err
+			}
+			m.ops(mjpeg.EntropyOps(stats) + mjpeg.IDCTOps(pipf.Bytes()))
+			m.accessStreamed(pipFiles[i].Sub(offsetOf(pipPk[i], n), int64(len(pipPk[i][n]))))
+			m.access(pipBufs[i], true)
+
+			x, y := pos[i][0], pos[i][1]
+			for _, pl := range media.Planes {
+				src, sw, sh := pipf.Plane(pl)
+				dst, dw, _ := out.Plane(pl)
+				pw, ph := media.PlaneDims(pl, ow, oh)
+				px, py := x, y
+				if pl != media.PlaneY {
+					px, py = x/2, y/2
+				}
+				kernels.DownscaleWindow(dst, dw, px, py, pw, ph, src, sw, sh, cfg.Factor, 0, ph)
+				m.ops(kernels.DownscaleOps(pw*ph, cfg.Factor))
+				m.access(planeRegion(pipBufs[i], cfg.W, cfg.H, pl, 0, ph*cfg.Factor), false)
+				m.access(planeRegion(outBuf, cfg.W, cfg.H, pl, py, py+ph), true)
+			}
+		}
+		m.emit(out, outBuf, outFile)
+	}
+	return m.result(cfg.Frames), nil
+}
+
+// SeqBlur is the hand-written sequential Blur. The paper notes that "in
+// the sequential Blur application, no operations are combined": the
+// horizontal pass materialises a temporary frame exactly as the XSPCL
+// version's stream does, so the two versions differ only in runtime
+// overhead.
+func SeqBlur(cfg BlurConfig) (*SeqResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newSeqMachine()
+	frameBytes := int64(cfg.W*cfg.H) * 3 / 2
+	vidFile := m.addr.Alloc(int64(cfg.Frames) * frameBytes)
+	vidBuf := m.addr.Alloc(frameBytes)
+	tmpBuf := m.addr.Alloc(frameBytes)
+	outBuf := m.addr.Alloc(frameBytes)
+	outFile := m.addr.Alloc(1 << 20)
+	gen := media.NewGenerator(cfg.W, cfg.H, 1)
+
+	vid := media.NewFrame(cfg.W, cfg.H)
+	tmp := media.NewFrame(cfg.W, cfg.H)
+	out := media.NewFrame(cfg.W, cfg.H)
+	w, h := cfg.W, cfg.H
+	cw, ch := vid.CW(), vid.CH()
+	halo := kernels.BlurHaloRadius(cfg.Taps)
+
+	for n := 0; n < cfg.Frames; n++ {
+		// fread(video) into the input buffer.
+		gen.Render(vid, n)
+		m.ops(kernels.CopyOps(vid.Bytes()))
+		m.accessStreamed(vidFile.Sub(int64(n)*frameBytes, frameBytes))
+		m.access(vidBuf, true)
+
+		// Horizontal phase (+ chroma pass-through).
+		kernels.BlurHPlane(tmp.Y, vid.Y, w, h, cfg.Taps, 0, h)
+		kernels.CopyPlaneRows(tmp.U, vid.U, cw, 0, ch)
+		kernels.CopyPlaneRows(tmp.V, vid.V, cw, 0, ch)
+		m.ops(kernels.BlurOps(w*h, cfg.Taps) + 2*kernels.CopyOps(cw*ch))
+		m.access(vidBuf, false)
+		m.access(tmpBuf, true)
+
+		// Vertical phase (+ chroma pass-through).
+		kernels.BlurVPlane(out.Y, tmp.Y, w, h, cfg.Taps, 0, h)
+		kernels.CopyPlaneRows(out.U, tmp.U, cw, 0, ch)
+		kernels.CopyPlaneRows(out.V, tmp.V, cw, 0, ch)
+		m.ops(kernels.BlurOps(w*h, cfg.Taps) + 2*kernels.CopyOps(cw*ch))
+		_ = halo
+		m.access(tmpBuf, false)
+		m.access(outBuf, true)
+
+		m.emit(out, outBuf, outFile)
+	}
+	return m.result(cfg.Frames), nil
+}
+
+func totalLen(pk [][]byte) int64 {
+	var n int64
+	for _, p := range pk {
+		n += int64(len(p))
+	}
+	return n
+}
+
+func offsetOf(pk [][]byte, n int) int64 {
+	var off int64
+	for i := 0; i < n; i++ {
+		off += int64(len(pk[i]))
+	}
+	return off
+}

@@ -1,0 +1,111 @@
+// Package bitio provides MSB-first bit-level readers and writers for
+// the MJPEG entropy coder. Bits are packed most-significant-bit first
+// within each byte, matching the JPEG bitstream convention (but without
+// JPEG's 0xFF byte stuffing, since this codec defines its own container).
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverrun is returned when a read runs past the end of the stream.
+var ErrOverrun = errors.New("bitio: read past end of stream")
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  uint32
+	ncur uint // number of valid bits in cur (< 8)
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 32] and v must fit in n bits.
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d", n))
+	}
+	if n < 32 && v>>n != 0 {
+		panic("bitio: value does not fit in n bits")
+	}
+	for n > 0 {
+		take := 8 - w.ncur
+		if take > n {
+			take = n
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.cur = (w.cur << take) | chunk
+		w.ncur += take
+		n -= take
+		if w.ncur == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.ncur = 0, 0
+		}
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b uint32) { w.WriteBits(b&1, 1) }
+
+// Len returns the number of whole bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.ncur) }
+
+// Bytes flushes any partial byte (padding with 1-bits, as JPEG does)
+// and returns the accumulated buffer. The Writer may not be used after
+// Bytes is called.
+func (w *Writer) Bytes() []byte {
+	if w.ncur > 0 {
+		pad := 8 - w.ncur
+		w.cur = (w.cur << pad) | ((1 << pad) - 1)
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.ncur = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // next byte index
+	cur  uint32
+	ncur uint
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads n bits (n ≤ 32) MSB-first.
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d", n))
+	}
+	var v uint32
+	for n > 0 {
+		if r.ncur == 0 {
+			if r.pos >= len(r.buf) {
+				return 0, ErrOverrun
+			}
+			r.cur = uint32(r.buf[r.pos])
+			r.pos++
+			r.ncur = 8
+		}
+		take := r.ncur
+		if take > n {
+			take = n
+		}
+		chunk := (r.cur >> (r.ncur - take)) & ((1 << take) - 1)
+		v = (v << take) | chunk
+		r.ncur -= take
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint32, error) { return r.ReadBits(1) }
+
+// BitsRead returns the number of bits consumed so far.
+func (r *Reader) BitsRead() int { return r.pos*8 - int(r.ncur) }

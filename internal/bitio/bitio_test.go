@@ -1,0 +1,144 @@
+package bitio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBasic(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11110000, 8)
+	w.WriteBit(1)
+	if w.Len() != 12 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("first read %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0b11110000 {
+		t.Fatalf("second read %b", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatal("third read")
+	}
+	if r.BitsRead() != 12 && r.BitsRead() != 16 {
+		t.Fatalf("BitsRead = %d", r.BitsRead())
+	}
+}
+
+func TestPaddingIsOnes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 3)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b00011111 {
+		t.Fatalf("padded byte = %08b", b[0])
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOverrun {
+		t.Fatalf("want ErrOverrun, got %v", err)
+	}
+}
+
+func TestWriteBitsPanics(t *testing.T) {
+	w := NewWriter()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n=33 did not panic")
+			}
+		}()
+		w.WriteBits(0, 33)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized value did not panic")
+			}
+		}()
+		w.WriteBits(4, 2)
+	}()
+}
+
+func TestZeroBitWrites(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 0)
+	w.WriteBits(1, 1)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(0); v != 0 {
+		t.Fatal("zero-bit read should be 0")
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatal("bit lost after zero-bit write")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any sequence of (value, width) pairs must round-trip exactly.
+	f := func(vals []uint32, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewWriter()
+		type item struct {
+			v uint32
+			n uint
+		}
+		var items []item
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%32) + 1
+			v := vals[i] & ((1 << width) - 1)
+			w.WriteBits(v, width)
+			items = append(items, item{v, width})
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongStream(t *testing.T) {
+	w := NewWriter()
+	for i := 0; i < 10000; i++ {
+		w.WriteBits(uint32(i)&0x7f, 7)
+	}
+	r := NewReader(w.Bytes())
+	for i := 0; i < 10000; i++ {
+		v, err := r.ReadBits(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint32(i)&0x7f {
+			t.Fatalf("item %d: got %d", i, v)
+		}
+	}
+}
+
+func TestFullWidthValues(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xffffffff, 32)
+	w.WriteBits(0, 32)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(32); v != 0xffffffff {
+		t.Fatalf("got %x", v)
+	}
+	if v, _ := r.ReadBits(32); v != 0 {
+		t.Fatalf("got %x", v)
+	}
+}

@@ -1,0 +1,123 @@
+// Package components is the component library of the reproduction: the
+// building blocks the paper's applications are coordinated from —
+// video/MJPEG sources, per-plane copy/downscale/blend operators, the
+// staged JPEG decoder (entropy decode + per-plane IDCT), separable
+// Gaussian blur phases, sinks, and an event trigger.
+//
+// Every component performs its real pixel/bitstream work (unless the
+// run is Workless) and reports its simulated cost through the
+// RunContext: arithmetic operations from the kernels' op-count models
+// and memory accesses over the stream slots' simulated address regions.
+package components
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xspcl/internal/hinch"
+	"xspcl/internal/media"
+)
+
+// DefaultRegistry returns a registry with every component class of this
+// package registered.
+func DefaultRegistry() *hinch.Registry {
+	r := hinch.NewRegistry()
+	Register(r)
+	return r
+}
+
+// Register adds all component classes to an existing registry.
+func Register(r *hinch.Registry) {
+	r.Register("videosrc", hinch.ClassSpec{
+		New: func() hinch.Component { return &VideoSource{} },
+		Out: []string{"out"},
+		Doc: "synthetic uncompressed video source (reads a simulated file)",
+	})
+	r.Register("mjpegsrc", hinch.ClassSpec{
+		New: func() hinch.Component { return &MJPEGSource{} },
+		Out: []string{"out"},
+		Doc: "motion-JPEG source producing compressed packets",
+	})
+	r.Register("copyplane", hinch.ClassSpec{
+		New: func() hinch.Component { return &CopyPlane{} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "copies one color plane (sliceable)",
+	})
+	r.Register("downscale", hinch.ClassSpec{
+		New: func() hinch.Component { return &Downscale{} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "spatial box downscaler for one color plane (sliceable)",
+	})
+	r.Register("blend", hinch.ClassSpec{
+		New: func() hinch.Component { return &Blend{} },
+		In:  []string{"small", "canvas"},
+		Out: []string{"out"},
+		Doc: "picture-in-picture blender for one color plane (sliceable, repositionable)",
+	})
+	r.Register("jpegdecode", hinch.ClassSpec{
+		New: func() hinch.Component { return &JPEGDecode{} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "JPEG entropy decoder producing dequantised coefficient planes",
+	})
+	r.Register("idct", hinch.ClassSpec{
+		New: func() hinch.Component { return &IDCT{} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "inverse DCT for one color plane (sliceable by block rows)",
+	})
+	r.Register("blurh", hinch.ClassSpec{
+		New: func() hinch.Component { return &Blur{horizontal: true} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "horizontal Gaussian blur phase on luminance (sliceable)",
+	})
+	r.Register("blurv", hinch.ClassSpec{
+		New: func() hinch.Component { return &Blur{horizontal: false} },
+		In:  []string{"in"},
+		Out: []string{"out"},
+		Doc: "vertical Gaussian blur phase on luminance (sliceable, needs halo rows)",
+	})
+	r.Register("videosink", hinch.ClassSpec{
+		New: func() hinch.Component { return &VideoSink{} },
+		In:  []string{"in"},
+		Doc: "consumes frames, keeping counts/checksums and optionally copies",
+	})
+	r.Register("trigger", hinch.ClassSpec{
+		New: func() hinch.Component { return &Trigger{} },
+		Doc: "emits a configured event every N iterations (simulated user input)",
+	})
+}
+
+// parsePlane converts a plane parameter value ("Y", "U" or "V").
+func parsePlane(s string) (media.PlaneID, error) {
+	switch strings.ToUpper(s) {
+	case "Y", "":
+		return media.PlaneY, nil
+	case "U":
+		return media.PlaneU, nil
+	case "V":
+		return media.PlaneV, nil
+	}
+	return 0, fmt.Errorf("components: bad plane %q", s)
+}
+
+// parsePos parses an "x,y" pair.
+func parsePos(s string) (x, y int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("components: bad position %q", s)
+	}
+	x, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("components: bad position %q", s)
+	}
+	y, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("components: bad position %q", s)
+	}
+	return x, y, nil
+}

@@ -1,0 +1,232 @@
+package components
+
+import (
+	"fmt"
+	"sync"
+
+	"xspcl/internal/hinch"
+	"xspcl/internal/kernels"
+	"xspcl/internal/media"
+)
+
+// planeGeom resolves the geometry of one plane of a frame stream port.
+// Frame slots are pre-allocated, so the payload carries dimensions even
+// in workless runs.
+func planeGeom(rc *hinch.RunContext, port string, plane media.PlaneID) (f *media.Frame, data []uint8, w, h int, err error) {
+	v := rc.In(port)
+	f, err = hinch.FrameOf(v, port)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	data, w, h = f.Plane(plane)
+	return f, data, w, h, nil
+}
+
+// CopyPlane copies one color plane from its input frame to its output
+// frame, slice-parallel over rows. The PiP application uses three of
+// these ("the background video ... is simply copied", one per color
+// field).
+//
+// Parameters: plane — Y, U or V (default Y).
+type CopyPlane struct {
+	plane media.PlaneID
+	slice int
+	n     int
+}
+
+// Init implements hinch.Component.
+func (c *CopyPlane) Init(ic *hinch.InitContext) error {
+	var err error
+	c.plane, err = parsePlane(ic.StringParam("plane", "Y"))
+	c.slice, c.n = ic.Slice(), ic.NSlices()
+	return err
+}
+
+// Run implements hinch.Component.
+func (c *CopyPlane) Run(rc *hinch.RunContext) error {
+	in, src, w, h, err := planeGeom(rc, "in", c.plane)
+	if err != nil {
+		return err
+	}
+	out, err := hinch.FrameOf(rc.Out("out"), "out")
+	if err != nil {
+		return err
+	}
+	if out.W != in.W || out.H != in.H {
+		return fmt.Errorf("components: copyplane size mismatch %dx%d vs %dx%d", in.W, in.H, out.W, out.H)
+	}
+	dst, _, _ := out.Plane(c.plane)
+	r0, r1 := media.SliceRows(h, c.slice, c.n)
+	if r1 > r0 && !rc.Workless() {
+		kernels.CopyPlaneRows(dst, src, w, r0, r1)
+	}
+	px := (r1 - r0) * w
+	rc.Charge(kernels.CopyOps(px))
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("in"), in.W, in.H, c.plane, r0, r1), false)
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("out"), out.W, out.H, c.plane, r0, r1), true)
+	return nil
+}
+
+// Downscale reduces one color plane by an integer factor using box
+// averaging — the paper's example component (Figure 2). Slice-parallel
+// over output rows.
+//
+// Parameters:
+//
+//	plane  — Y, U or V (default Y)
+//	factor — integer downscale factor (required)
+type Downscale struct {
+	plane  media.PlaneID
+	factor int
+	slice  int
+	n      int
+}
+
+// Init implements hinch.Component.
+func (c *Downscale) Init(ic *hinch.InitContext) error {
+	var err error
+	if c.plane, err = parsePlane(ic.StringParam("plane", "Y")); err != nil {
+		return err
+	}
+	if c.factor, err = ic.RequireInt("factor"); err != nil {
+		return err
+	}
+	if c.factor < 1 {
+		return fmt.Errorf("components: downscale %s: factor %d", ic.Name(), c.factor)
+	}
+	c.slice, c.n = ic.Slice(), ic.NSlices()
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *Downscale) Run(rc *hinch.RunContext) error {
+	in, src, sw, sh, err := planeGeom(rc, "in", c.plane)
+	if err != nil {
+		return err
+	}
+	out, err := hinch.FrameOf(rc.Out("out"), "out")
+	if err != nil {
+		return err
+	}
+	dst, dw, dh := out.Plane(c.plane)
+	if dw*c.factor > sw || dh*c.factor > sh {
+		return fmt.Errorf("components: downscale geometry: %dx%d /%d does not fit %dx%d", sw, sh, c.factor, dw, dh)
+	}
+	r0, r1 := media.SliceRows(dh, c.slice, c.n)
+	if r1 > r0 && !rc.Workless() {
+		kernels.DownscalePlane(dst, dw, dh, src, sw, sh, c.factor, r0, r1)
+	}
+	rc.Charge(kernels.DownscaleOps((r1-r0)*dw, c.factor))
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("in"), in.W, in.H, c.plane, r0*c.factor, r1*c.factor), false)
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("out"), out.W, out.H, c.plane, r0, r1), true)
+	return nil
+}
+
+// Blend overlays a small picture onto the canvas frame at a
+// configurable position — the picture-in-picture blender. It updates
+// the canvas in place: its "canvas" input and "out" output must be
+// connected to the same stream, and the task graph must order it after
+// the canvas producer. Slice-parallel over the small picture's rows.
+//
+// Blend implements the paper's reconfiguration-interface example ("a
+// picture-in-picture blender can support changing the position of the
+// blended picture"): a reconfiguration request "pos=x,y" moves the
+// overlay.
+//
+// Parameters:
+//
+//	plane — Y, U or V (default Y)
+//	x, y  — overlay position in luma pixels, even (default 0,0)
+//	alpha — 0..256 opacity, 256 = opaque (default 256)
+type Blend struct {
+	plane media.PlaneID
+	alpha int
+	slice int
+	n     int
+
+	mu   sync.Mutex
+	x, y int
+}
+
+// Init implements hinch.Component.
+func (c *Blend) Init(ic *hinch.InitContext) error {
+	var err error
+	if c.plane, err = parsePlane(ic.StringParam("plane", "Y")); err != nil {
+		return err
+	}
+	if c.x, err = ic.IntParam("x", 0); err != nil {
+		return err
+	}
+	if c.y, err = ic.IntParam("y", 0); err != nil {
+		return err
+	}
+	if c.alpha, err = ic.IntParam("alpha", 256); err != nil {
+		return err
+	}
+	if c.x%2 != 0 || c.y%2 != 0 {
+		return fmt.Errorf("components: blend %s: position (%d,%d) must be even for chroma alignment", ic.Name(), c.x, c.y)
+	}
+	if c.alpha < 0 || c.alpha > 256 {
+		return fmt.Errorf("components: blend %s: alpha %d out of range", ic.Name(), c.alpha)
+	}
+	c.slice, c.n = ic.Slice(), ic.NSlices()
+	return nil
+}
+
+// Reconfigure implements hinch.Reconfigurable: "pos=x,y" repositions
+// the overlay.
+func (c *Blend) Reconfigure(request string) error {
+	const prefix = "pos="
+	if len(request) <= len(prefix) || request[:len(prefix)] != prefix {
+		return fmt.Errorf("components: blend: unsupported reconfiguration request %q", request)
+	}
+	x, y, err := parsePos(request[len(prefix):])
+	if err != nil {
+		return err
+	}
+	if x%2 != 0 || y%2 != 0 {
+		return fmt.Errorf("components: blend: position (%d,%d) must be even", x, y)
+	}
+	c.mu.Lock()
+	c.x, c.y = x, y
+	c.mu.Unlock()
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *Blend) Run(rc *hinch.RunContext) error {
+	small, srcData, sw, sh, err := planeGeom(rc, "small", c.plane)
+	if err != nil {
+		return err
+	}
+	canvas, err := hinch.FrameOf(rc.In("canvas"), "canvas")
+	if err != nil {
+		return err
+	}
+	out, err := hinch.FrameOf(rc.Out("out"), "out")
+	if err != nil {
+		return err
+	}
+	if canvas != out {
+		return fmt.Errorf("components: blend requires canvas and out on the same stream (in-place update)")
+	}
+	c.mu.Lock()
+	x, y := c.x, c.y
+	c.mu.Unlock()
+	if c.plane != media.PlaneY {
+		x, y = x/2, y/2
+	}
+	dst, dw, dh := out.Plane(c.plane)
+	if x+sw > dw || y+sh > dh {
+		return fmt.Errorf("components: blend: %dx%d at (%d,%d) outside %dx%d canvas", sw, sh, x, y, dw, dh)
+	}
+	r0, r1 := media.SliceRows(sh, c.slice, c.n)
+	if r1 > r0 && !rc.Workless() {
+		kernels.BlendPlane(dst, dw, dh, srcData, sw, sh, x, y, c.alpha, r0, r1)
+	}
+	rc.Charge(kernels.BlendOps((r1-r0)*sw, c.alpha))
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("small"), small.W, small.H, c.plane, r0, r1), false)
+	// The canvas rows touched are [y+r0, y+r1): read-modify-write.
+	rc.Access(hinch.FramePlaneRegion(rc.PortRegion("out"), out.W, out.H, c.plane, y+r0, y+r1), true)
+	return nil
+}

@@ -1,0 +1,140 @@
+package components
+
+import (
+	"fmt"
+	"sync"
+
+	"xspcl/internal/hinch"
+	"xspcl/internal/kernels"
+	"xspcl/internal/media"
+	"xspcl/internal/spacecake"
+)
+
+// VideoSink consumes the output stream: it counts frames, folds a
+// running checksum, and optionally keeps frame copies for verification.
+// It models the paper's "Output" component (writing the result file):
+// the simulated cost is a full read of the frame plus a write to a
+// file region.
+//
+// Parameters:
+//
+//	collect — "1" keeps a clone of every frame (memory-heavy; tests only)
+type VideoSink struct {
+	collect bool
+	file    spacecake.Region
+
+	mu     sync.Mutex
+	count  int
+	chk    uint64
+	frames []*media.Frame
+}
+
+// Init implements hinch.Component.
+func (c *VideoSink) Init(ic *hinch.InitContext) error {
+	c.collect = ic.StringParam("collect", "0") == "1"
+	c.file = ic.AllocRegion(1 << 20) // output file window
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *VideoSink) Run(rc *hinch.RunContext) error {
+	f, err := hinch.FrameOf(rc.In("in"), "in")
+	if err != nil {
+		return err
+	}
+	if !rc.Workless() {
+		c.mu.Lock()
+		c.count++
+		c.chk = c.chk*1099511628211 ^ media.Checksum(f)
+		if c.collect {
+			c.frames = append(c.frames, f.Clone())
+		}
+		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		c.count++
+		c.mu.Unlock()
+	}
+	rc.Charge(kernels.CopyOps(f.Bytes()))
+	rc.Access(rc.PortRegion("in"), false)
+	if c.file.Bytes > 0 {
+		n := int64(f.Bytes())
+		if n > c.file.Bytes {
+			n = c.file.Bytes
+		}
+		rc.AccessStreamed(c.file.Sub(0, n))
+	}
+	return nil
+}
+
+// Count returns the number of frames consumed.
+func (c *VideoSink) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Checksum returns the folded checksum of all consumed frames.
+func (c *VideoSink) Checksum() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chk
+}
+
+// Frames returns the collected frame copies (only when collect=1).
+func (c *VideoSink) Frames() []*media.Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// Trigger emits a configured event every N iterations, simulating
+// asynchronous user input (the paper's reconfigurable variants "switch
+// a second picture-in-picture on and off every 12 frames"). It has no
+// stream ports.
+//
+// Parameters:
+//
+//	queue — target event queue name (required)
+//	event — event name (required)
+//	every — period in iterations (required, > 0)
+//	arg   — optional event argument
+//	start — first iteration that may fire (default `every`)
+type Trigger struct {
+	queue string
+	event string
+	arg   string
+	every int
+	start int
+}
+
+// Init implements hinch.Component.
+func (c *Trigger) Init(ic *hinch.InitContext) error {
+	c.queue = ic.StringParam("queue", "")
+	c.event = ic.StringParam("event", "")
+	c.arg = ic.StringParam("arg", "")
+	var err error
+	if c.every, err = ic.RequireInt("every"); err != nil {
+		return err
+	}
+	if c.every <= 0 {
+		return fmt.Errorf("components: trigger %s: every must be positive", ic.Name())
+	}
+	if c.start, err = ic.IntParam("start", c.every); err != nil {
+		return err
+	}
+	if c.queue == "" || c.event == "" {
+		return fmt.Errorf("components: trigger %s: queue and event are required", ic.Name())
+	}
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *Trigger) Run(rc *hinch.RunContext) error {
+	rc.Charge(16)
+	n := rc.Iteration()
+	if n >= c.start && (n-c.start)%c.every == 0 {
+		return rc.Emit(c.queue, hinch.Event{Name: c.event, Arg: c.arg})
+	}
+	return nil
+}

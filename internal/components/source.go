@@ -1,0 +1,189 @@
+package components
+
+import (
+	"fmt"
+	"sync"
+
+	"xspcl/internal/hinch"
+	"xspcl/internal/kernels"
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+	"xspcl/internal/spacecake"
+)
+
+// VideoSource produces uncompressed synthetic video frames, modelling
+// the paper's "reads multiple uncompressed video files": the simulated
+// memory traffic reads from a file-sized region and writes the stream
+// slot.
+//
+// Parameters:
+//
+//	width, height — frame dimensions (must match the output stream)
+//	frames        — number of distinct frames; with eos enabled the
+//	                source returns EOS after them, otherwise content loops
+//	seed          — content seed (default 1)
+//	eos           — "0" loops forever instead of ending after `frames`
+type VideoSource struct {
+	gen    *media.Generator
+	frames int
+	eos    bool
+	file   spacecake.Region
+	w, h   int
+}
+
+// Init implements hinch.Component.
+func (c *VideoSource) Init(ic *hinch.InitContext) error {
+	var err error
+	if c.frames, err = ic.IntParam("frames", 0); err != nil {
+		return err
+	}
+	seed, err := ic.Uint64Param("seed", 1)
+	if err != nil {
+		return err
+	}
+	w, err := ic.RequireInt("width")
+	if err != nil {
+		return err
+	}
+	h, err := ic.RequireInt("height")
+	if err != nil {
+		return err
+	}
+	c.w, c.h = w, h
+	c.eos = ic.StringParam("eos", "1") != "0"
+	c.gen = media.NewGenerator(w, h, seed)
+	fileFrames := c.frames
+	if fileFrames <= 0 {
+		fileFrames = 16
+	}
+	c.file = ic.AllocRegion(int64(fileFrames) * int64(w*h) * 3 / 2)
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *VideoSource) Run(rc *hinch.RunContext) error {
+	n := rc.Iteration()
+	if c.frames > 0 && c.eos && n >= c.frames {
+		return hinch.EOS
+	}
+	if c.frames > 0 {
+		n %= c.frames
+	}
+	out := rc.Out("out")
+	f, err := hinch.FrameOf(out, "out")
+	if err != nil {
+		return err
+	}
+	if !rc.Workless() {
+		c.gen.Render(f, n)
+	}
+	bytes := int64(c.w*c.h) * 3 / 2
+	rc.Charge(kernels.CopyOps(int(bytes)))
+	// Stream the frame in from the "file", write it to the stream slot.
+	fileFrames := c.file.Bytes / bytes
+	if fileFrames > 0 {
+		off := (int64(n) % fileFrames) * bytes
+		rc.AccessStreamed(c.file.Sub(off, bytes))
+	}
+	rc.Access(rc.PortRegion("out"), true)
+	return nil
+}
+
+// MJPEGSource produces compressed motion-JPEG packets. The content is
+// synthetic video encoded at Init (cached process-wide so parameter
+// sweeps do not re-encode).
+//
+// Parameters:
+//
+//	width, height — frame dimensions (multiples of 16)
+//	frames        — distinct encoded frames; required, > 0
+//	quality       — JPEG quality (default 75)
+//	seed          — content seed (default 1)
+//	eos           — "0" loops forever instead of ending after `frames`
+type MJPEGSource struct {
+	packets [][]byte
+	frames  int
+	eos     bool
+	file    spacecake.Region
+}
+
+// encodedCache memoises encoded sequences across app constructions.
+var encodedCache sync.Map // key string -> [][]byte
+
+// EncodedSequence returns (generating and caching if needed) the
+// encoded synthetic sequence for the given geometry. It is exported for
+// the hand-written sequential baselines, which must consume byte-identical
+// input to the XSPCL versions.
+func EncodedSequence(w, h, frames, quality int, seed uint64) ([][]byte, error) {
+	key := fmt.Sprintf("%dx%d/%d/q%d/s%d", w, h, frames, quality, seed)
+	if v, ok := encodedCache.Load(key); ok {
+		return v.([][]byte), nil
+	}
+	src := media.GenerateSequence(w, h, frames, seed)
+	enc, err := mjpeg.EncodeSequence(src, quality)
+	if err != nil {
+		return nil, err
+	}
+	encodedCache.Store(key, enc)
+	return enc, nil
+}
+
+// Init implements hinch.Component.
+func (c *MJPEGSource) Init(ic *hinch.InitContext) error {
+	w, err := ic.RequireInt("width")
+	if err != nil {
+		return err
+	}
+	h, err := ic.RequireInt("height")
+	if err != nil {
+		return err
+	}
+	if c.frames, err = ic.RequireInt("frames"); err != nil {
+		return err
+	}
+	if c.frames <= 0 {
+		return fmt.Errorf("components: mjpegsrc %s: frames must be positive", ic.Name())
+	}
+	quality, err := ic.IntParam("quality", 75)
+	if err != nil {
+		return err
+	}
+	seed, err := ic.Uint64Param("seed", 1)
+	if err != nil {
+		return err
+	}
+	c.eos = ic.StringParam("eos", "1") != "0"
+	c.packets, err = EncodedSequence(w, h, c.frames, quality, seed)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, p := range c.packets {
+		total += int64(len(p))
+	}
+	c.file = ic.AllocRegion(total)
+	return nil
+}
+
+// Run implements hinch.Component.
+func (c *MJPEGSource) Run(rc *hinch.RunContext) error {
+	n := rc.Iteration()
+	if c.eos && n >= c.frames {
+		return hinch.EOS
+	}
+	n %= c.frames
+	data := c.packets[n]
+	rc.SetOut("out", &hinch.Packet{Data: data})
+	rc.Charge(int64(len(data)) / 4) // file read + packetisation bookkeeping
+	var off int64
+	for i := 0; i < n; i++ {
+		off += int64(len(c.packets[i]))
+	}
+	rc.AccessStreamed(c.file.Sub(off, int64(len(data))))
+	region := rc.PortRegion("out")
+	if region.Bytes > int64(len(data)) {
+		region = region.Sub(0, int64(len(data)))
+	}
+	rc.Access(region, true)
+	return nil
+}

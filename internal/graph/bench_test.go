@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wideProgram builds a JPiP-scale tree: s stages, each a task-parallel
+// trio of n-way slices.
+func wideProgram(stages, n int) *Program {
+	b := NewBuilder("wide")
+	b.Stream("s0")
+	body := []*Node{b.Component("src", "src", Ports{"out": "s0"}, nil)}
+	for st := 0; st < stages; st++ {
+		in := fmt.Sprintf("s%d", st)
+		out := fmt.Sprintf("s%d", st+1)
+		b.Stream(out)
+		var blocks []*Node
+		for p := 0; p < 3; p++ {
+			blocks = append(blocks, b.Parallel(ShapeSlice, n,
+				b.Component(fmt.Sprintf("f%d_%d", st, p), "filter", Ports{"in": in, "out": out}, nil),
+			))
+		}
+		body = append(body, b.Parallel(ShapeTask, 0, blocks...))
+	}
+	body = append(body, b.Component("snk", "sink", Ports{"in": fmt.Sprintf("s%d", stages)}, nil))
+	b.Body(body...)
+	return b.MustProgram()
+}
+
+func BenchmarkBuildPlanJPiPScale(b *testing.B) {
+	prog := wideProgram(4, 45) // ~540 tasks, like JPiP
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err := BuildPlan(prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(plan.Tasks)), "tasks")
+		}
+	}
+}
+
+func BenchmarkCriticalPath(b *testing.B) {
+	plan, err := BuildPlan(wideProgram(4, 45), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := func(t *Task) int64 { return int64(t.ID%7 + 1) }
+	for i := 0; i < b.N; i++ {
+		plan.CriticalPath(cost)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+// Builder constructs Programs programmatically with the same semantics
+// the XSPCL elaborator produces from XML. It is the Go-native front end
+// used by the example applications and tests; both construction paths
+// yield identical Program trees, which the xspcl tests assert.
+//
+// The tree is built with nested calls:
+//
+//	b := graph.NewBuilder("pip")
+//	b.Stream("video")
+//	b.Body(
+//	    b.Component("src", "videosrc", graph.Ports{"out": "video"}, nil),
+//	    b.Parallel(graph.ShapeSlice, 8,
+//	        b.Component("scale", "downscale", ..., graph.Params{"factor": "4"}),
+//	    ),
+//	)
+//	prog, err := b.Program()
+type Builder struct {
+	prog *Program
+	errs []error
+}
+
+// Ports maps component port names to stream names.
+type Ports map[string]string
+
+// Params maps initialization parameter names to values.
+type Params map[string]string
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Stream declares a named untyped stream.
+func (b *Builder) Stream(name string) *Builder {
+	b.prog.Streams = append(b.prog.Streams, StreamDecl{Name: name})
+	return b
+}
+
+// StreamDecl declares a stream with an explicit element description.
+func (b *Builder) StreamDecl(decl StreamDecl) *Builder {
+	b.prog.Streams = append(b.prog.Streams, decl)
+	return b
+}
+
+// FrameStream declares a stream of w×h YUV 4:2:0 frames.
+func (b *Builder) FrameStream(name string, w, h int) *Builder {
+	return b.StreamDecl(StreamDecl{Name: name, Type: "frame", W: w, H: h})
+}
+
+// CoeffStream declares a stream of w×h DCT coefficient frames.
+func (b *Builder) CoeffStream(name string, w, h int) *Builder {
+	return b.StreamDecl(StreamDecl{Name: name, Type: "coeff", W: w, H: h})
+}
+
+// PacketStream declares a stream of variable-size byte packets with the
+// given capacity estimate.
+func (b *Builder) PacketStream(name string, capBytes int) *Builder {
+	return b.StreamDecl(StreamDecl{Name: name, Type: "packet", Cap: capBytes})
+}
+
+// Queue declares a named event queue.
+func (b *Builder) Queue(name string) *Builder {
+	b.prog.Queues = append(b.prog.Queues, name)
+	return b
+}
+
+// Component returns a component leaf node.
+func (b *Builder) Component(name, class string, ports Ports, params Params) *Node {
+	return &Node{
+		Kind:   KindComponent,
+		Name:   name,
+		Class:  class,
+		Ports:  map[string]string(ports),
+		Params: map[string]string(params),
+	}
+}
+
+// Seq returns a sequential group of the given children.
+func (b *Builder) Seq(children ...*Node) *Node {
+	return &Node{Kind: KindSeq, Children: children}
+}
+
+// Parallel returns a parallel group. For ShapeTask each child is a
+// parblock; for ShapeSlice there must be exactly one child; for
+// ShapeCrossdep each child is a parblock replicated n times.
+func (b *Builder) Parallel(shape Shape, n int, children ...*Node) *Node {
+	return &Node{Kind: KindPar, Shape: shape, N: n, Children: children}
+}
+
+// Option returns an optional subgraph with the given default state.
+func (b *Builder) Option(name string, defaultOn bool, children ...*Node) *Node {
+	return &Node{Kind: KindOption, Name: name, DefaultOn: defaultOn, Children: children}
+}
+
+// Manager returns a reconfiguration container polling the given event
+// queue with the given bindings.
+func (b *Builder) Manager(name, queue string, bindings []EventBinding, children ...*Node) *Node {
+	return &Node{Kind: KindManager, Name: name, Queue: queue, Bindings: bindings, Children: children}
+}
+
+// On is a convenience constructor for a single-action event binding.
+func On(event string, kind ActionKind, target string) EventBinding {
+	a := EventAction{Kind: kind}
+	switch kind {
+	case ActionEnable, ActionDisable, ActionToggle:
+		a.Option = target
+	case ActionForward:
+		a.Queue = target
+	case ActionReconfig:
+		a.Request = target
+	}
+	return EventBinding{Event: event, Actions: []EventAction{a}}
+}
+
+// Body sets the program root to a sequential group of the given
+// top-level nodes (the <body> of the XSPCL main procedure).
+func (b *Builder) Body(children ...*Node) *Builder {
+	b.prog.Root = &Node{Kind: KindSeq, Children: children}
+	return b
+}
+
+// Program validates structure-independent invariants and returns the
+// built program. Full validation (against a component catalog) is the
+// caller's responsibility via Program.Validate.
+func (b *Builder) Program() (*Program, error) {
+	if err := b.prog.Validate(nil); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustProgram is Program but panics on error, for tests and examples
+// with statically-correct graphs.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

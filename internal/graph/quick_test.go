@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random SP tree from a byte script; it is used by
+// the property tests to fuzz BuildPlan's invariants.
+type treeGen struct {
+	script []byte
+	pos    int
+	nameID int
+	b      *Builder
+	stream string
+}
+
+func (g *treeGen) next() byte {
+	if g.pos >= len(g.script) {
+		return 0
+	}
+	v := g.script[g.pos]
+	g.pos++
+	return v
+}
+
+func (g *treeGen) component() *Node {
+	g.nameID++
+	return g.b.Component(fmt.Sprintf("c%d", g.nameID), "filter",
+		Ports{"in": g.stream, "out": g.stream}, nil)
+}
+
+// node produces a random subtree of bounded depth.
+func (g *treeGen) node(depth int) *Node {
+	if depth <= 0 {
+		return g.component()
+	}
+	switch g.next() % 5 {
+	case 0:
+		return g.component()
+	case 1: // seq of 1..3
+		n := int(g.next()%3) + 1
+		kids := make([]*Node, n)
+		for i := range kids {
+			kids[i] = g.node(depth - 1)
+		}
+		return g.b.Seq(kids...)
+	case 2: // task par of 1..3
+		n := int(g.next()%3) + 1
+		kids := make([]*Node, n)
+		for i := range kids {
+			kids[i] = g.node(depth - 1)
+		}
+		return g.b.Parallel(ShapeTask, 0, kids...)
+	case 3: // slice 1..4
+		return g.b.Parallel(ShapeSlice, int(g.next()%4)+1, g.node(depth-1))
+	default: // crossdep with 1..2 blocks, 1..4 copies
+		nb := int(g.next()%2) + 1
+		kids := make([]*Node, nb)
+		for i := range kids {
+			kids[i] = g.node(depth - 1)
+		}
+		return g.b.Parallel(ShapeCrossdep, int(g.next()%4)+1, kids...)
+	}
+}
+
+// buildRandomProgram turns a fuzz script into a program.
+func buildRandomProgram(script []byte) *Program {
+	b := NewBuilder("fuzz")
+	b.Stream("s")
+	g := &treeGen{script: script, b: b, stream: "s"}
+	root := g.node(3)
+	b.Body(b.Component("src", "src", Ports{"out": "s"}, nil), root)
+	return b.prog // skip validation; BuildPlan re-checks what matters here
+}
+
+// TestPlanInvariantsHoldForRandomTrees checks, for arbitrary SP trees:
+// IDs are topologically ordered, dependency counts are consistent with
+// Succs, every non-entry task has at least one dependency, and the DAG
+// is connected to the source.
+func TestPlanInvariantsHoldForRandomTrees(t *testing.T) {
+	f := func(script []byte) bool {
+		prog := buildRandomProgram(script)
+		plan, err := BuildPlan(prog, nil)
+		if err != nil {
+			// Random trees are structurally valid by construction; any
+			// error is a real failure.
+			t.Logf("BuildPlan: %v", err)
+			return false
+		}
+		if err := plan.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		// Succs is the exact inverse of Deps.
+		fwd := map[[2]int]bool{}
+		for _, tk := range plan.Tasks {
+			for _, d := range tk.Deps {
+				fwd[[2]int{d, tk.ID}] = true
+			}
+		}
+		n := 0
+		for from, succs := range plan.Succs {
+			for _, to := range succs {
+				if !fwd[[2]int{from, to}] {
+					t.Logf("succ edge %d->%d has no dep", from, to)
+					return false
+				}
+				n++
+			}
+		}
+		if n != len(fwd) {
+			t.Logf("edge counts differ")
+			return false
+		}
+		// Exactly one entry (the source): all other tasks reachable.
+		entries := 0
+		for _, tk := range plan.Tasks {
+			if len(tk.Deps) == 0 {
+				entries++
+			}
+		}
+		if entries != 1 {
+			t.Logf("%d entry tasks, want 1 (the source)", entries)
+			return false
+		}
+		// Critical path with unit costs is at most the task count and at
+		// least 2 (source + something).
+		cp := plan.CriticalPath(func(*Task) int64 { return 1 })
+		if cp < 2 || cp > int64(len(plan.Tasks)) {
+			t.Logf("critical path %d outside [2,%d]", cp, len(plan.Tasks))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionSubsetProperty: for any tree, the plan with an option
+// disabled is a strict subset (by task name) of the plan with it
+// enabled.
+func TestOptionSubsetProperty(t *testing.T) {
+	f := func(script []byte, defaultOn bool) bool {
+		b := NewBuilder("fuzz")
+		b.Stream("s")
+		b.Queue("q")
+		g := &treeGen{script: script, b: b, stream: "s"}
+		inner := g.node(2)
+		b.Body(
+			b.Component("src", "src", Ports{"out": "s"}, nil),
+			b.Manager("m", "q", nil,
+				b.Option("opt", defaultOn, inner),
+			),
+		)
+		prog := b.prog
+		on, err := BuildPlan(prog, map[string]bool{"opt": true})
+		if err != nil {
+			return false
+		}
+		off, err := BuildPlan(prog, map[string]bool{"opt": false})
+		if err != nil {
+			return false
+		}
+		names := map[string]bool{}
+		for _, tk := range on.Tasks {
+			names[tk.Name] = true
+		}
+		for _, tk := range off.Tasks {
+			if !names[tk.Name] {
+				t.Logf("task %s only exists with option off", tk.Name)
+				return false
+			}
+		}
+		if len(off.Tasks) >= len(on.Tasks) {
+			t.Logf("disabling the option did not shrink the plan")
+			return false
+		}
+		// Every task of the enabled-only set carries the option label.
+		offNames := map[string]bool{}
+		for _, tk := range off.Tasks {
+			offNames[tk.Name] = true
+		}
+		for _, tk := range on.Tasks {
+			if !offNames[tk.Name] && tk.Option != "opt" {
+				t.Logf("task %s missing option label", tk.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package hinch
+
+import (
+	"fmt"
+	"sync"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/spacecake"
+)
+
+// Backend selects how the job graph is executed.
+type Backend int
+
+// Execution backends.
+const (
+	// BackendSim executes on a deterministic discrete-event simulation
+	// of a SpaceCAKE tile with a virtual cycle clock. All paper
+	// experiments use this backend.
+	BackendSim Backend = iota
+	// BackendReal executes on a pool of worker goroutines, measuring
+	// host wall-clock time.
+	BackendReal
+)
+
+// Config configures a run.
+type Config struct {
+	Backend Backend
+
+	// Cores is the number of simulated cores (sim) or worker goroutines
+	// (real). Defaults to 1.
+	Cores int
+
+	// PipelineDepth is the number of concurrently active iterations.
+	// The paper schedules five (§4): "To exploit pipeline parallelism
+	// ... five iterations are simultaneously scheduled." Defaults to 5.
+	PipelineDepth int
+
+	// StreamCapacity bounds how many iterations may hold stream buffers
+	// at once — the FIFO depth of the streams ("typically implemented
+	// using a FIFO queue", §1). Iterations beyond it wait for buffers
+	// (backpressure), which keeps the memory footprint of deep
+	// pipelines bounded. Defaults to 3; clamped to PipelineDepth.
+	StreamCapacity int
+
+	// Workless makes components skip their real kernel computation and
+	// only perform cost accounting, for fast simulation sweeps. Output
+	// data is then meaningless; checksum-comparing tests must not set it.
+	Workless bool
+
+	// Tile overrides the simulated tile configuration. When nil,
+	// spacecake.DefaultConfig(Cores) is used. Ignored by BackendReal.
+	Tile *spacecake.Config
+
+	// ReconfigBaseCycles and ReconfigPerTaskCycles are charged as a
+	// global stall when a quiescent reconfiguration is applied: the
+	// cost of splicing the option subgraph in or out and synchronising
+	// the new components with the contained subgraph (§3.4). Component
+	// creation itself is charged earlier, overlapped with execution,
+	// because options are pre-created as soon as the event is detected.
+	ReconfigBaseCycles    int64
+	ReconfigPerTaskCycles int64
+
+	// CreateOpsPerComponent is the compute charged (overlapped) to the
+	// manager job that pre-creates an option's components.
+	CreateOpsPerComponent int64
+
+	// LazyCreation disables the paper's eager pre-creation of option
+	// components at event detection (§3.4): components are then created
+	// inside the quiescent window and their creation cost is added to
+	// the reconfiguration stall. Exists for the ablation benchmark; the
+	// paper's design (eager) is the default.
+	LazyCreation bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 5
+	}
+	if c.StreamCapacity <= 0 {
+		c.StreamCapacity = 3
+	}
+	if c.StreamCapacity > c.PipelineDepth {
+		c.StreamCapacity = c.PipelineDepth
+	}
+	if c.ReconfigBaseCycles == 0 {
+		c.ReconfigBaseCycles = 20000
+	}
+	if c.ReconfigPerTaskCycles == 0 {
+		c.ReconfigPerTaskCycles = 800
+	}
+	if c.CreateOpsPerComponent == 0 {
+		c.CreateOpsPerComponent = 4000
+	}
+	return c
+}
+
+// instance is one live component instance.
+type instance struct {
+	name string
+	comp Component
+
+	mu      sync.Mutex
+	mailbox []string // pending reconfiguration requests
+}
+
+// deliver queues a reconfiguration request for the instance.
+func (in *instance) deliver(req string) {
+	in.mu.Lock()
+	in.mailbox = append(in.mailbox, req)
+	in.mu.Unlock()
+}
+
+// takeMail drains pending requests.
+func (in *instance) takeMail() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := in.mailbox
+	in.mailbox = nil
+	return m
+}
+
+// App is a loaded XSPCL application: the elaborated program bound to
+// component instances, streams, event queues and a backend. Build one
+// with NewApp and execute it once with Run.
+type App struct {
+	prog *graph.Program
+	reg  *Registry
+	cfg  Config
+
+	streams    map[string]*Stream
+	streamList []*Stream // declaration order, for deterministic allocation
+	queues     map[string]*EventQueue
+	instances  map[string]*instance
+	managers   map[string]*graph.Node
+
+	options     map[string]bool   // currently applied option states
+	optionOwner map[string]string // option name -> innermost enclosing manager
+	plan        *graph.Plan       // the superplan (all options enabled)
+
+	addr *spacecake.AddressSpace // nil on the real backend
+	tile *spacecake.Tile         // nil on the real backend
+
+	metrics metrics
+	ran     bool
+}
+
+// NewApp validates prog against the registry, builds the initial plan,
+// allocates streams and event queues, and instantiates the components
+// of the default configuration.
+func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	if err := prog.Validate(reg); err != nil {
+		return nil, err
+	}
+	a := &App{
+		prog:        prog,
+		reg:         reg,
+		cfg:         cfg,
+		streams:     map[string]*Stream{},
+		queues:      map[string]*EventQueue{},
+		instances:   map[string]*instance{},
+		managers:    map[string]*graph.Node{},
+		options:     prog.Options(),
+		optionOwner: optionOwners(prog),
+	}
+	if cfg.Backend == BackendSim {
+		a.addr = spacecake.NewAddressSpace()
+		tcfg := spacecake.DefaultConfig(cfg.Cores)
+		if cfg.Tile != nil {
+			tcfg = *cfg.Tile
+			tcfg.Cores = cfg.Cores
+		}
+		if err := tcfg.Validate(); err != nil {
+			return nil, err
+		}
+		a.tile = spacecake.NewTile(tcfg)
+	}
+	for _, decl := range prog.Streams {
+		s, err := newStream(decl, cfg.PipelineDepth, a.addr)
+		if err != nil {
+			return nil, err
+		}
+		a.streams[decl.Name] = s
+		a.streamList = append(a.streamList, s)
+	}
+	for _, q := range prog.Queues {
+		a.queues[q] = NewEventQueue()
+	}
+	for _, m := range prog.Managers() {
+		a.managers[m.Name] = m
+	}
+	// The engine always executes the superplan — every option's tasks
+	// are present, and disabled ones run as zero-cost no-ops — so a
+	// reconfiguration never re-plans in-flight iterations.
+	allOn := map[string]bool{}
+	for name := range a.options {
+		allOn[name] = true
+	}
+	plan, err := graph.BuildPlan(prog, allOn)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	a.plan = plan
+	for _, t := range plan.ComponentTasks() {
+		// Only instantiate components whose option is enabled; options
+		// create their components when they are switched on.
+		if t.Option != "" && !a.options[t.Option] {
+			continue
+		}
+		if err := a.createInstance(t); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// optionOwners maps each option to its innermost enclosing manager.
+func optionOwners(prog *graph.Program) map[string]string {
+	owners := map[string]string{}
+	var walk func(n *graph.Node, mgr string)
+	walk = func(n *graph.Node, mgr string) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case graph.KindManager:
+			mgr = n.Name
+		case graph.KindOption:
+			owners[n.Name] = mgr
+		}
+		for _, c := range n.Children {
+			walk(c, mgr)
+		}
+	}
+	walk(prog.Root, "")
+	return owners
+}
+
+// createInstance builds and initialises the component for a task.
+func (a *App) createInstance(t *graph.Task) error {
+	if _, exists := a.instances[t.Name]; exists {
+		return nil
+	}
+	spec, err := a.reg.Lookup(t.Class)
+	if err != nil {
+		return fmt.Errorf("hinch: component %q: %w", t.Name, err)
+	}
+	comp := spec.New()
+	ic := &InitContext{
+		name:    t.Name,
+		params:  t.Params,
+		slice:   t.Slice,
+		nslices: t.NSlices,
+		app:     a,
+	}
+	if err := comp.Init(ic); err != nil {
+		return fmt.Errorf("hinch: init %q: %w", t.Name, err)
+	}
+	inst := &instance{name: t.Name, comp: comp}
+	if req, ok := t.Params[graph.ReconfigParam]; ok {
+		// The <reconfig> tag: an initial reconfiguration request,
+		// applied before the instance's first Run.
+		if _, reconfigurable := comp.(Reconfigurable); !reconfigurable {
+			return fmt.Errorf("hinch: component %q has an initial reconfiguration request but class %q has no reconfiguration interface", t.Name, t.Class)
+		}
+		inst.deliver(req)
+	}
+	a.instances[t.Name] = inst
+	return nil
+}
+
+// Component returns a live component instance by name (e.g. to read a
+// sink's collected output after Run), or nil if absent.
+func (a *App) Component(name string) Component {
+	in, ok := a.instances[name]
+	if !ok {
+		return nil
+	}
+	return in.comp
+}
+
+// Queue returns a declared event queue by name (e.g. to inject user
+// events from outside the graph), or nil if absent.
+func (a *App) Queue(name string) *EventQueue { return a.queues[name] }
+
+// Stream returns a declared stream by name (for inspection: buffer
+// pool growth, element description), or nil if absent.
+func (a *App) Stream(name string) *Stream { return a.streams[name] }
+
+// Options returns the current option states.
+func (a *App) Options() map[string]bool {
+	out := make(map[string]bool, len(a.options))
+	for k, v := range a.options {
+		out[k] = v
+	}
+	return out
+}
+
+// Plan returns the superplan: the task DAG with every option's tasks
+// present (disabled options execute as no-ops).
+func (a *App) Plan() *graph.Plan { return a.plan }
+
+// Program returns the application's program.
+func (a *App) Program() *graph.Program { return a.prog }
+
+// Tile returns the simulated tile (nil on the real backend).
+func (a *App) Tile() *spacecake.Tile { return a.tile }
+
+// Run executes the application for the given number of iterations
+// (frames). If iterations <= 0, the application runs until a source
+// component returns EOS. An App can only be run once.
+func (a *App) Run(iterations int) (*Report, error) {
+	if a.ran {
+		return nil, fmt.Errorf("hinch: app already ran")
+	}
+	a.ran = true
+	if iterations <= 0 {
+		iterations = -1
+	}
+	e := newEngine(a, iterations)
+	switch a.cfg.Backend {
+	case BackendSim:
+		return e.runSim()
+	case BackendReal:
+		return e.runReal()
+	}
+	return nil, fmt.Errorf("hinch: unknown backend %d", a.cfg.Backend)
+}

@@ -1,0 +1,71 @@
+package hinch
+
+import (
+	"testing"
+
+	"xspcl/internal/graph"
+)
+
+// wideProg is a scheduler stress graph: src feeding a 16-way slice
+// group into a sink, all with small fixed costs.
+func wideProg() *graph.Program {
+	b := graph.NewBuilder("wide")
+	b.Stream("a").Stream("b")
+	b.Body(
+		b.Component("src", "bmsrc", graph.Ports{"out": "a"}, nil),
+		b.Parallel(graph.ShapeSlice, 16,
+			b.Component("m", "marker", graph.Ports{"in": "a", "out": "b"}, nil),
+		),
+		b.Component("snk", "bmsink", graph.Ports{"in": "b"}, graph.Params{"expect": "16"}),
+	)
+	return b.MustProgram()
+}
+
+func BenchmarkSimSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app, err := NewApp(wideProg(), testRegistry(), Config{Backend: BackendSim, Cores: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := app.Run(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Jobs == 0 {
+			b.Fatal("no jobs")
+		}
+	}
+}
+
+func BenchmarkRealSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app, err := NewApp(wideProg(), testRegistry(), Config{Backend: BackendReal, Cores: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Run(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewApp(wideProg(), testRegistry(), Config{Backend: BackendSim, Cores: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	q := NewEventQueue()
+	for i := 0; i < b.N; i++ {
+		q.Push(Event{Name: "e"})
+		if i%64 == 63 {
+			q.Drain()
+		}
+	}
+}

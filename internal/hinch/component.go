@@ -1,0 +1,305 @@
+// Package hinch is the run-time system of the reproduction: it executes
+// an elaborated XSPCL program (a graph.Program) in data-flow style with
+// a central job queue, automatic load balancing, pipeline parallelism
+// across iterations, streaming and event communication, and dynamic
+// reconfiguration through managers — the feature set of the paper's
+// Hinch runtime (Nijhuis et al., Euro-Par'06, used by the ICPP'07
+// paper).
+//
+// Two interchangeable backends execute the job graph:
+//
+//   - BackendSim: a deterministic discrete-event simulation on a
+//     spacecake.Tile with a virtual cycle clock. All paper experiments
+//     run on this backend.
+//   - BackendReal: a pool of worker goroutines draining the central
+//     job queue, measuring wall-clock time on the host.
+//
+// Components always perform their real pixel/bitstream work unless
+// Config.Workless is set; cost accounting for the simulator happens
+// through the RunContext (Charge/Access) as they run.
+package hinch
+
+import (
+	"fmt"
+	"strconv"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/spacecake"
+)
+
+// Component is one node of the streaming application. A component is
+// initialised once (per instance — data-parallel slice copies are
+// separate instances) and then run once per iteration of the task
+// graph, reading its input ports and writing its output ports.
+//
+// Components run to completion and must not block on other components;
+// the scheduler guarantees their inputs are ready before Run is called
+// (the XSPCL design's deadlock-freedom argument, paper §3.1).
+type Component interface {
+	// Init configures the instance from its initialization parameters.
+	Init(ic *InitContext) error
+	// Run executes one iteration.
+	Run(rc *RunContext) error
+}
+
+// Reconfigurable is implemented by components that accept
+// reconfiguration requests at runtime (paper §3.1: "a component may
+// have a reconfiguration interface at which it listens for
+// reconfiguration requests", e.g. a blender supporting repositioning).
+// Requests are delivered before the next Run of the instance.
+type Reconfigurable interface {
+	Reconfigure(request string) error
+}
+
+// EOS is returned by a source component's Run when its stream is
+// exhausted; the engine then stops launching new iterations and drains
+// the pipeline. Iterations at or beyond the one that hit EOS are not
+// counted as processed.
+var EOS = fmt.Errorf("hinch: end of stream")
+
+// ClassSpec declares a component class for the registry: its factory
+// and its port signature.
+type ClassSpec struct {
+	// New creates an uninitialised instance.
+	New func() Component
+	// In and Out list the class's input and output port names. Every
+	// port must be connected to a stream in the application graph.
+	In, Out []string
+	// Doc is a one-line description shown by tooling.
+	Doc string
+}
+
+// Registry maps class names to component implementations. It
+// implements graph.Catalog so program validation can resolve port
+// directions.
+type Registry struct {
+	classes map[string]ClassSpec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{classes: map[string]ClassSpec{}} }
+
+// Register adds a class. It panics on duplicates or a nil factory:
+// registration happens at program start-up with static names.
+func (r *Registry) Register(class string, spec ClassSpec) {
+	if class == "" || spec.New == nil {
+		panic("hinch: invalid class registration")
+	}
+	if _, dup := r.classes[class]; dup {
+		panic(fmt.Sprintf("hinch: class %q registered twice", class))
+	}
+	r.classes[class] = spec
+}
+
+// Lookup returns the spec for class.
+func (r *Registry) Lookup(class string) (ClassSpec, error) {
+	spec, ok := r.classes[class]
+	if !ok {
+		return ClassSpec{}, fmt.Errorf("hinch: unknown component class %q", class)
+	}
+	return spec, nil
+}
+
+// Classes returns the registered class names (unordered).
+func (r *Registry) Classes() []string {
+	out := make([]string, 0, len(r.classes))
+	for c := range r.classes {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ClassPorts implements graph.Catalog.
+func (r *Registry) ClassPorts(class string) (in, out []string, err error) {
+	spec, err := r.Lookup(class)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec.In, spec.Out, nil
+}
+
+// InitContext is handed to Component.Init. It exposes the instance's
+// parameters, its data-parallel position, and simulator facilities.
+type InitContext struct {
+	name    string
+	params  map[string]string
+	slice   int
+	nslices int
+	app     *App
+}
+
+// Name returns the unique instance name.
+func (ic *InitContext) Name() string { return ic.name }
+
+// Slice returns this instance's index within its data-parallel group
+// (0 when not replicated). The paper delivers this through the
+// reconfiguration interface; here it is part of initialisation.
+func (ic *InitContext) Slice() int { return ic.slice }
+
+// NSlices returns the data-parallel group size (1 when not replicated).
+func (ic *InitContext) NSlices() int { return ic.nslices }
+
+// Param returns the raw value of an initialization parameter and
+// whether it was supplied.
+func (ic *InitContext) Param(name string) (string, bool) {
+	v, ok := ic.params[name]
+	return v, ok
+}
+
+// StringParam returns a string parameter or def when absent.
+func (ic *InitContext) StringParam(name, def string) string {
+	if v, ok := ic.params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// IntParam returns an integer parameter or def when absent. It fails
+// on a malformed value.
+func (ic *InitContext) IntParam(name string, def int) (int, error) {
+	v, ok := ic.params[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("hinch: %s: parameter %s=%q is not an integer", ic.name, name, v)
+	}
+	return n, nil
+}
+
+// RequireInt returns an integer parameter, failing when absent.
+func (ic *InitContext) RequireInt(name string) (int, error) {
+	if _, ok := ic.params[name]; !ok {
+		return 0, fmt.Errorf("hinch: %s: missing required parameter %q", ic.name, name)
+	}
+	return ic.IntParam(name, 0)
+}
+
+// Uint64Param returns a uint64 parameter or def when absent.
+func (ic *InitContext) Uint64Param(name string, def uint64) (uint64, error) {
+	v, ok := ic.params[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("hinch: %s: parameter %s=%q is not a uint64", ic.name, name, v)
+	}
+	return n, nil
+}
+
+// AllocRegion reserves a simulated address region for instance-owned
+// data (e.g. a source's encoded input buffer). On the real backend it
+// returns a zero region; cost accounting is inert there.
+func (ic *InitContext) AllocRegion(bytes int64) spacecake.Region {
+	if ic.app.addr == nil {
+		return spacecake.Region{}
+	}
+	return ic.app.addr.Alloc(bytes)
+}
+
+// Workless reports whether kernels should skip their real computation
+// (fast simulation sweeps; see Config.Workless).
+func (ic *InitContext) Workless() bool { return ic.app.cfg.Workless }
+
+// RunContext is handed to Component.Run for one iteration. It provides
+// port access, event emission and simulator cost accounting. A
+// RunContext is only valid for the duration of the Run call.
+type RunContext struct {
+	app      *App
+	task     *graph.Task
+	iter     int
+	compute  int64              // accumulated ops
+	access   []spacecake.Access // accumulated memory accesses (sim backend)
+	streamed []spacecake.Region // accumulated streamed (DMA) transfers
+	sim      bool
+}
+
+// Iteration returns the iteration (frame) number being processed.
+func (rc *RunContext) Iteration() int { return rc.iter }
+
+// Slice returns the instance's data-parallel index.
+func (rc *RunContext) Slice() int { return rc.task.Slice }
+
+// NSlices returns the data-parallel group size.
+func (rc *RunContext) NSlices() int { return rc.task.NSlices }
+
+// Workless reports whether kernels should skip real computation. Cost
+// accounting (Charge/Access) must still be performed by the component.
+func (rc *RunContext) Workless() bool { return rc.app.cfg.Workless }
+
+// In returns the payload at the named input port for this iteration.
+func (rc *RunContext) In(port string) any {
+	return rc.slot(port).payload
+}
+
+// Out returns the payload buffer at the named output port (the
+// pre-allocated stream slot element, e.g. a *media.Frame to fill).
+func (rc *RunContext) Out(port string) any {
+	return rc.slot(port).payload
+}
+
+// SetOut replaces the payload at the named output port, for streams
+// whose elements are produced fresh each iteration (packets,
+// coefficient frames).
+func (rc *RunContext) SetOut(port string, payload any) {
+	rc.slot(port).payload = payload
+}
+
+// PortRegion returns the simulated address region of the port's current
+// stream slot. On the real backend it returns a zero region.
+func (rc *RunContext) PortRegion(port string) spacecake.Region {
+	return rc.slot(port).region
+}
+
+func (rc *RunContext) slot(port string) *slot {
+	streamName, ok := rc.task.Ports[port]
+	if !ok {
+		panic(fmt.Sprintf("hinch: %s: port %q not connected", rc.task.Name, port))
+	}
+	s, ok := rc.app.streams[streamName]
+	if !ok {
+		panic(fmt.Sprintf("hinch: %s: stream %q missing", rc.task.Name, streamName))
+	}
+	return s.slotFor(rc.iter)
+}
+
+// Emit appends an event to the named queue (asynchronous communication,
+// paper §2 item 3b). The queue name is typically supplied to the
+// component as an initialization parameter.
+func (rc *RunContext) Emit(queue string, ev Event) error {
+	q, ok := rc.app.queues[queue]
+	if !ok {
+		return fmt.Errorf("hinch: %s: unknown event queue %q", rc.task.Name, queue)
+	}
+	q.Push(ev)
+	rc.app.metrics.eventsEmitted.Add(1)
+	return nil
+}
+
+// Charge adds ops arithmetic operations to this job's simulated compute
+// cost. On the real backend it is a no-op.
+func (rc *RunContext) Charge(ops int64) {
+	if rc.sim {
+		rc.compute += ops
+	}
+}
+
+// Access records a memory access to a simulated region for the cache
+// model. On the real backend it is a no-op.
+func (rc *RunContext) Access(region spacecake.Region, write bool) {
+	if rc.sim && region.Bytes > 0 {
+		rc.access = append(rc.access, spacecake.Access{Region: region, Write: write})
+	}
+}
+
+// AccessStreamed records a streamed (DMA/burst) transfer of a simulated
+// region: bulk file input/output that costs bandwidth, not per-line
+// latency, and does not displace the cache working set. On the real
+// backend it is a no-op.
+func (rc *RunContext) AccessStreamed(region spacecake.Region) {
+	if rc.sim && region.Bytes > 0 {
+		rc.streamed = append(rc.streamed, region)
+	}
+}

@@ -1,0 +1,699 @@
+package hinch
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xspcl/internal/graph"
+)
+
+// job identifies one schedulable unit: one task of one iteration.
+type job struct {
+	iter int
+	task *graph.Task
+}
+
+// iterState tracks the progress of one in-flight iteration.
+type iterState struct {
+	plan      *graph.Plan
+	remaining []int32 // unmet dependency count per task
+	done      []bool
+	left      int // tasks not yet completed
+	cancelled bool
+	acquired  bool // stream buffers assigned (lazily, at first dispatch)
+
+	// mgrOpts[m] is the option-state snapshot taken when manager m's
+	// entry ran for this iteration; the iteration's option tasks are
+	// enabled or skipped according to it. A reconfiguration may still
+	// retro-apply to this iteration as long as none of the option's
+	// tasks have started (tracked in optStarted).
+	mgrOpts map[string]map[string]bool
+
+	// optStarted[o] records that at least one task of option o was
+	// dispatched in this iteration, fixing the option's state for the
+	// rest of the iteration.
+	optStarted map[string]bool
+}
+
+// mgrPhase is the reconfiguration protocol state of one manager.
+type mgrPhase int
+
+const (
+	mgrIdle    mgrPhase = iota // no reconfiguration in progress
+	mgrHalted                  // change detected; subgraph draining
+	mgrApplied                 // options spliced; pipeline draining before resume
+)
+
+// mgrState tracks one manager's reconfiguration protocol.
+type mgrState struct {
+	phase       mgrPhase
+	pending     map[string]bool // desired option states (nil when idle)
+	gateAfter   int             // last iteration allowed into the subgraph
+	lastEntered int             // highest iteration whose entry has executed
+	parked      []job           // held entry jobs of iterations > gateAfter
+}
+
+// reconfigResult tells the executor a reconfiguration was applied on
+// job completion: charge stall virtual time, then release the parked
+// jobs.
+type reconfigResult struct {
+	stall  int64
+	parked []job
+}
+
+// engine implements the shared scheduling machinery: the central job
+// queue ("Hinch provides automatic load balancing using a central job
+// queue"), data-flow readiness tracking, pipeline parallelism across
+// iterations, and the manager reconfiguration protocol (§3.4: detect at
+// the subgraph entrance/exit, pre-create eagerly, halt the subgraph,
+// splice at quiescence, resume). The sim and real executors drive it.
+//
+// The engine executes one plan for the whole run: the superplan, built
+// with every option enabled. Tasks of currently-disabled options flow
+// through the dependency machinery as zero-cost no-ops, so enabling or
+// disabling an option never re-plans in-flight iterations — it only
+// changes the per-iteration snapshot taken at the manager entrance.
+//
+// All methods must be called with mu held on the real backend; the sim
+// backend is single-threaded, so the (uncontended) lock is cheap.
+type engine struct {
+	app *App
+
+	mu   sync.Mutex
+	cond *sync.Cond // real backend: signals ready-queue changes
+
+	iters      map[int]*iterState
+	nextLaunch int
+	limit      int // iterations to run; -1 = until EOS
+	stopLaunch int // first iteration index invalidated by EOS; -1 = none
+	processed  int
+
+	mgrs      map[string]*mgrState
+	reconfigs int
+	stall     int64
+
+	bufActive int   // iterations currently holding stream buffers
+	bufParked []job // jobs waiting for stream buffers (backpressure)
+
+	ready    readyQueue // central job queue, oldest iteration first
+	perClass map[string]*ClassStats
+	err      error
+}
+
+// readyQueue is the central job queue. Jobs are handed out oldest
+// iteration first (ties broken by task ID): the runtime drives old
+// iterations to completion before touching new ones, so pipeline
+// parallelism only fills otherwise-idle cores instead of round-robining
+// across iterations — which both matches a data-flow runtime's natural
+// eagerness to retire work and preserves producer→consumer cache
+// locality within an iteration.
+type readyQueue []job
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].iter != q[j].iter {
+		return q[i].iter < q[j].iter
+	}
+	return q[i].task.ID < q[j].task.ID
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(job)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+func newEngine(a *App, limit int) *engine {
+	e := &engine{
+		app:        a,
+		iters:      map[int]*iterState{},
+		limit:      limit,
+		stopLaunch: -1,
+		mgrs:       map[string]*mgrState{},
+		perClass:   map[string]*ClassStats{},
+	}
+	for name := range a.managers {
+		e.mgrs[name] = &mgrState{lastEntered: -1}
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// classKey maps a task to its per-class stats bucket.
+func classKey(t *graph.Task) string {
+	if t.Role != graph.RoleComponent {
+		return "manager"
+	}
+	return t.Class
+}
+
+func (e *engine) classStats(t *graph.Task) *ClassStats {
+	key := classKey(t)
+	cs, ok := e.perClass[key]
+	if !ok {
+		cs = &ClassStats{}
+		e.perClass[key] = cs
+	}
+	return cs
+}
+
+// canLaunch reports whether another iteration may enter the pipeline.
+// While any manager is halted for reconfiguration no new iterations are
+// admitted: "when the application is stopped for reconfiguration, the
+// amount of parallelism in the application drops until the application
+// is run sequentially" (§4.3).
+func (e *engine) canLaunch() bool {
+	if e.err != nil {
+		return false
+	}
+	if len(e.iters) >= e.app.cfg.PipelineDepth {
+		return false
+	}
+	for _, st := range e.mgrs {
+		if st.phase != mgrIdle {
+			return false
+		}
+	}
+	return e.moreToLaunch()
+}
+
+// moreToLaunch reports whether any future iteration remains (ignoring
+// the pipeline window).
+func (e *engine) moreToLaunch() bool {
+	if e.stopLaunch >= 0 && e.nextLaunch >= e.stopLaunch {
+		return false
+	}
+	return e.limit < 0 || e.nextLaunch < e.limit
+}
+
+// finished reports whether the run is complete.
+func (e *engine) finished() bool {
+	return len(e.iters) == 0 && !e.moreToLaunch()
+}
+
+// launch admits iterations into the pipeline while the window allows.
+func (e *engine) launch() {
+	for e.canLaunch() {
+		k := e.nextLaunch
+		e.nextLaunch++
+		plan := e.app.plan
+		it := &iterState{
+			plan:      plan,
+			remaining: make([]int32, len(plan.Tasks)),
+			done:      make([]bool, len(plan.Tasks)),
+			left:      len(plan.Tasks),
+			mgrOpts:   map[string]map[string]bool{},
+		}
+		prev := e.iters[k-1]
+		for _, t := range plan.Tasks {
+			r := int32(len(t.Deps))
+			// Cross-iteration constraint: an instance must finish
+			// iteration k-1 before starting iteration k (components are
+			// stateful; stream buffers recycle). Only needed while the
+			// previous iteration is still in flight.
+			if prev != nil && !prev.done[t.ID] {
+				r++
+			}
+			it.remaining[t.ID] = r
+		}
+		e.iters[k] = it
+		for _, t := range plan.Tasks {
+			if it.remaining[t.ID] == 0 {
+				e.push(job{iter: k, task: t})
+			}
+		}
+	}
+}
+
+// push adds a job to the central queue.
+func (e *engine) push(j job) {
+	heap.Push(&e.ready, j)
+	if e.cond != nil {
+		e.cond.Signal()
+	}
+}
+
+// pop removes the highest-priority ready job (oldest iteration first).
+// ok is false when the queue is empty.
+func (e *engine) pop() (job, bool) {
+	if len(e.ready) == 0 {
+		return job{}, false
+	}
+	return heap.Pop(&e.ready).(job), true
+}
+
+// shouldPark reports whether a just-popped job must be held back: it is
+// the entry of a manager whose subgraph is halted for reconfiguration
+// and belongs to an iteration beyond the halt point ("it can halt the
+// managed subgraph for reconfiguration by suspending the execution of
+// its subgraph"). Parked jobs are released by applyReconfig. Must be
+// called with mu held.
+func (e *engine) shouldPark(j job) bool {
+	if j.task.Role != graph.RoleManagerEntry {
+		return false
+	}
+	st := e.mgrs[j.task.Manager]
+	if st == nil || st.phase == mgrIdle || j.iter <= st.gateAfter {
+		return false
+	}
+	st.parked = append(st.parked, j)
+	return true
+}
+
+// complete retires a finished job: it marks the task done, releases
+// dependents in the same iteration and the same task in the next
+// iteration, finalises the iteration when all tasks are done, and
+// applies a pending reconfiguration when the halted manager's subgraph
+// just became quiescent. Must be called with mu held.
+func (e *engine) complete(j job) *reconfigResult {
+	it := e.iters[j.iter]
+	if it == nil || it.done[j.task.ID] {
+		panic(fmt.Sprintf("hinch: double completion of %s@%d", j.task.Name, j.iter))
+	}
+	it.done[j.task.ID] = true
+	it.left--
+	for _, succ := range it.plan.Succs[j.task.ID] {
+		e.release(j.iter, it, succ)
+	}
+	if next := e.iters[j.iter+1]; next != nil {
+		e.release(j.iter+1, next, j.task.ID)
+	}
+	var res *reconfigResult
+	if j.task.Role == graph.RoleManagerExit {
+		if st := e.mgrs[j.task.Manager]; st != nil && st.phase == mgrHalted && j.iter == st.gateAfter {
+			res = e.applyReconfig(st)
+		}
+	}
+	if it.left == 0 {
+		delete(e.iters, j.iter)
+		if it.acquired {
+			e.bufActive--
+			for _, s := range e.app.streamList {
+				s.release(j.iter)
+			}
+			// Buffers freed: iterations waiting on the stream FIFO
+			// capacity can try again.
+			for _, pj := range e.bufParked {
+				e.push(pj)
+			}
+			e.bufParked = nil
+		}
+		if !it.cancelled {
+			e.processed++
+		}
+		e.checkResumes()
+		e.launch()
+	}
+	return res
+}
+
+// checkResumes releases managers in the applied phase once every
+// iteration from before the halt has fully retired: the pipeline has
+// drained ("the application is run sequentially", §4.3) and refills
+// from the parked iterations — the parallelism loss the paper's Figure
+// 10 measures. Must be called with mu held.
+func (e *engine) checkResumes() {
+	for _, st := range e.mgrs {
+		if st.phase != mgrApplied {
+			continue
+		}
+		drained := true
+		for k := range e.iters {
+			if k <= st.gateAfter {
+				drained = false
+				break
+			}
+		}
+		if !drained {
+			continue
+		}
+		for _, pj := range st.parked {
+			e.push(pj)
+		}
+		st.parked = nil
+		st.phase = mgrIdle
+		e.launch()
+	}
+}
+
+func (e *engine) release(iter int, it *iterState, taskID int) {
+	it.remaining[taskID]--
+	if it.remaining[taskID] == 0 {
+		e.push(job{iter: iter, task: it.plan.Tasks[taskID]})
+	}
+	if it.remaining[taskID] < 0 {
+		panic(fmt.Sprintf("hinch: negative dependency count for task %d@%d", taskID, iter))
+	}
+}
+
+// noteEOS records that the source hit end-of-stream in iteration k:
+// iteration k and everything after it is cancelled, and no further
+// iterations launch.
+func (e *engine) noteEOS(k int) {
+	if e.stopLaunch < 0 || k < e.stopLaunch {
+		e.stopLaunch = k
+	}
+	for i, it := range e.iters {
+		if i >= k {
+			it.cancelled = true
+		}
+	}
+}
+
+// needsBuffers reports whether the job's iteration must wait for
+// stream buffers: the FIFO capacity is exhausted by older iterations.
+// If so, the job is parked and re-queued when an iteration retires.
+// Must be called with mu held.
+func (e *engine) needsBuffers(j job) bool {
+	it := e.iters[j.iter]
+	if it == nil || it.acquired {
+		return false
+	}
+	if e.bufActive < e.app.cfg.StreamCapacity {
+		return false
+	}
+	e.bufParked = append(e.bufParked, j)
+	return true
+}
+
+// ensureBuffers lazily assigns stream buffers to a just-dispatching
+// iteration. Deferring the assignment to first dispatch (rather than
+// launch) lets the LIFO pools hand the previous iteration's cache-hot
+// buffers to the next one whenever the scheduler keeps few iterations
+// in flight. Must be called with mu held.
+func (e *engine) ensureBuffers(iter int) {
+	it := e.iters[iter]
+	if it == nil || it.acquired {
+		return
+	}
+	it.acquired = true
+	e.bufActive++
+	for _, s := range e.app.streamList {
+		s.acquire(iter)
+	}
+}
+
+// skipExecution reports whether the job must run as a zero-cost no-op:
+// its iteration was cancelled by EOS, or it belongs to an option that
+// is disabled in this iteration's snapshot. Must be called with mu
+// held.
+func (e *engine) skipExecution(j job) bool {
+	it := e.iters[j.iter]
+	if it == nil || it.cancelled {
+		return true
+	}
+	if j.task.Option == "" {
+		return false
+	}
+	owner := e.app.optionOwner[j.task.Option]
+	snap := it.mgrOpts[owner]
+	if snap == nil {
+		panic(fmt.Sprintf("hinch: option task %s@%d ran before manager %s entry", j.task.Name, j.iter, owner))
+	}
+	if it.optStarted == nil {
+		it.optStarted = map[string]bool{}
+	}
+	it.optStarted[j.task.Option] = true
+	return !snap[j.task.Option]
+}
+
+// effectiveOption returns the option state including a manager's
+// pending changes.
+func (e *engine) effectiveOption(st *mgrState, name string) bool {
+	if st.pending != nil {
+		if v, ok := st.pending[name]; ok {
+			return v
+		}
+	}
+	return e.app.options[name]
+}
+
+// managerPoll runs a manager entry or exit job: drain the event queue,
+// apply the bound actions (paper §3.4), and — for entries — snapshot
+// the option states the iteration will run under. It returns the
+// compute ops to charge for overlapped component pre-creation. Must be
+// called with mu held.
+func (e *engine) managerPoll(j job) (ops int64, err error) {
+	m := e.app.managers[j.task.Manager]
+	if m == nil {
+		return 0, fmt.Errorf("hinch: unknown manager %q", j.task.Manager)
+	}
+	st := e.mgrs[j.task.Manager]
+	if j.task.Role == graph.RoleManagerEntry && j.iter > st.lastEntered {
+		st.lastEntered = j.iter
+	}
+	if m.Queue != "" {
+		q := e.app.queues[m.Queue]
+		for _, ev := range q.Drain() {
+			for _, bind := range m.Bindings {
+				if bind.Event != ev.Name {
+					continue
+				}
+				for _, act := range bind.Actions {
+					o, err := e.applyAction(m, st, j, ev, act)
+					if err != nil {
+						return ops, err
+					}
+					ops += o
+				}
+			}
+			// Events nobody bound are dropped, like unhandled user input.
+		}
+	}
+	if j.task.Role == graph.RoleManagerEntry {
+		// The current iteration runs under the applied (not pending)
+		// configuration; pending changes land after this iteration
+		// leaves the subgraph.
+		snap := make(map[string]bool, len(e.app.options))
+		for k, v := range e.app.options {
+			snap[k] = v
+		}
+		e.iters[j.iter].mgrOpts[j.task.Manager] = snap
+	}
+	return ops, nil
+}
+
+func (e *engine) applyAction(m *graph.Node, st *mgrState, j job, ev Event, act graph.EventAction) (ops int64, err error) {
+	switch act.Kind {
+	case graph.ActionEnable, graph.ActionDisable, graph.ActionToggle:
+		cur := e.effectiveOption(st, act.Option)
+		want := cur
+		switch act.Kind {
+		case graph.ActionEnable:
+			want = true
+		case graph.ActionDisable:
+			want = false
+		case graph.ActionToggle:
+			want = !cur
+		}
+		if want == cur {
+			return 0, nil // "the event is ignored when the option is already in the required state"
+		}
+		if st.pending == nil {
+			st.pending = map[string]bool{}
+		}
+		st.pending[act.Option] = want
+		if st.phase == mgrIdle {
+			st.phase = mgrHalted
+			// Iterations that already entered the subgraph must drain
+			// through the old configuration; detection at an exit may
+			// trail entries of later iterations.
+			st.gateAfter = j.iter
+			if st.lastEntered > st.gateAfter {
+				st.gateAfter = st.lastEntered
+			}
+		}
+		if want && !e.app.cfg.LazyCreation {
+			// Pre-create the option's components now, overlapped with
+			// execution, so the quiescent window stays short (§3.4:
+			// "these components do not have to be created and
+			// initialized during reconfiguration").
+			n, err := e.preCreateOption(act.Option)
+			if err != nil {
+				return 0, err
+			}
+			ops = int64(n) * e.app.cfg.CreateOpsPerComponent
+		}
+		return ops, nil
+
+	case graph.ActionForward:
+		q, ok := e.app.queues[act.Queue]
+		if !ok {
+			return 0, fmt.Errorf("hinch: manager %q forwards to unknown queue %q", m.Name, act.Queue)
+		}
+		q.Push(ev)
+		return 0, nil
+
+	case graph.ActionReconfig:
+		// Broadcast a reconfiguration request to all components in the
+		// managed subgraph that listen for them.
+		req := act.Request
+		if req == "" {
+			req = ev.Arg
+		}
+		for _, t := range e.app.plan.ComponentTasks() {
+			if !inScope(t, m.Name) {
+				continue
+			}
+			inst := e.app.instances[t.Name]
+			if inst == nil {
+				continue
+			}
+			if _, ok := inst.comp.(Reconfigurable); ok {
+				inst.deliver(req)
+			}
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("hinch: unknown action kind %v", act.Kind)
+}
+
+func inScope(t *graph.Task, manager string) bool {
+	for _, m := range t.Scope {
+		if m == manager {
+			return true
+		}
+	}
+	return false
+}
+
+// preCreateOption instantiates an option's components if they do not
+// exist yet and returns how many were created.
+func (e *engine) preCreateOption(option string) (int, error) {
+	created := 0
+	for _, t := range e.app.plan.ComponentTasks() {
+		if t.Option != option {
+			continue
+		}
+		if _, ok := e.app.instances[t.Name]; !ok {
+			if err := e.app.createInstance(t); err != nil {
+				return created, err
+			}
+			created++
+		}
+	}
+	return created, nil
+}
+
+// applyReconfig splices the pending option changes in at subgraph
+// quiescence: iterations up to gateAfter have fully left the manager's
+// subgraph and later iterations are parked at its entrance. It returns
+// the stall to charge and the parked jobs to resume. Must be called
+// with mu held.
+func (e *engine) applyReconfig(st *mgrState) *reconfigResult {
+	nChanged, created := 0, 0
+	for _, t := range e.app.plan.ComponentTasks() {
+		if t.Option == "" {
+			continue
+		}
+		want, changed := st.pending[t.Option]
+		if !changed {
+			continue
+		}
+		nChanged++
+		if !want {
+			// "multiple components are destroyed and/or created"
+			delete(e.app.instances, t.Name)
+		} else if _, ok := e.app.instances[t.Name]; !ok {
+			// Pre-created at event detection unless LazyCreation (or an
+			// externally injected enable) deferred it to this quiescent
+			// window, where its cost becomes stall time.
+			if err := e.app.createInstance(t); err != nil {
+				if e.err == nil {
+					e.err = err
+				}
+				break
+			}
+			created++
+		}
+	}
+	for opt, v := range st.pending {
+		e.app.options[opt] = v
+		// Retro-apply to in-flight iterations whose snapshot predates
+		// the change, as long as none of the option's tasks have
+		// started there — they reach the option region only after the
+		// splice, so they may run the new configuration.
+		owner := e.app.optionOwner[opt]
+		for _, it := range e.iters {
+			snap := it.mgrOpts[owner]
+			if snap != nil && !it.optStarted[opt] {
+				snap[opt] = v
+			}
+		}
+	}
+	stall := e.app.cfg.ReconfigBaseCycles +
+		e.app.cfg.ReconfigPerTaskCycles*int64(nChanged) +
+		e.app.cfg.CreateOpsPerComponent*int64(created)
+	e.stall += stall
+	e.reconfigs++
+	// Parked entries stay held until checkResumes sees the pipeline
+	// fully drained of pre-halt iterations.
+	res := &reconfigResult{stall: stall}
+	st.pending = nil
+	st.phase = mgrApplied
+	return res
+}
+
+// executeComponent runs a component job and returns the run context for
+// cost extraction. It must be called WITHOUT mu held on the real
+// backend; inst must have been resolved under the lock.
+func (e *engine) executeComponent(j job, inst *instance, sim bool) (*RunContext, error) {
+	rc := &RunContext{app: e.app, task: j.task, iter: j.iter, sim: sim}
+	if r, ok := inst.comp.(Reconfigurable); ok {
+		for _, req := range inst.takeMail() {
+			if err := r.Reconfigure(req); err != nil {
+				return rc, fmt.Errorf("hinch: reconfigure %q: %w", j.task.Name, err)
+			}
+		}
+	}
+	err := inst.comp.Run(rc)
+	return rc, err
+}
+
+// resolveInstance fetches the component instance for a job. Must be
+// called with mu held on the real backend.
+func (e *engine) resolveInstance(j job) (*instance, error) {
+	inst := e.app.instances[j.task.Name]
+	if inst == nil {
+		return nil, fmt.Errorf("hinch: no instance for task %q", j.task.Name)
+	}
+	return inst, nil
+}
+
+// handleRunError classifies a component error: EOS cancels the tail of
+// the run; anything else aborts it. Must be called with mu held.
+func (e *engine) handleRunError(j job, err error) {
+	if errors.Is(err, EOS) {
+		e.noteEOS(j.iter)
+		return
+	}
+	if e.err == nil {
+		e.err = fmt.Errorf("hinch: %s@%d: %w", j.task.Name, j.iter, err)
+	}
+}
+
+// report assembles the final Report. Must be called after execution has
+// fully stopped.
+func (e *engine) report() *Report {
+	r := &Report{
+		Iterations:    e.processed,
+		Jobs:          e.app.metrics.jobs.Load(),
+		Cores:         e.app.cfg.Cores,
+		PerClass:      map[string]ClassStats{},
+		Reconfigs:     e.reconfigs,
+		ReconfigStall: e.stall,
+		EventsEmitted: e.app.metrics.eventsEmitted.Load(),
+	}
+	for k, v := range e.perClass {
+		r.PerClass[k] = *v
+	}
+	if e.app.tile != nil {
+		r.Cache = e.app.tile.Stats()
+	}
+	return r
+}

@@ -1,0 +1,48 @@
+package hinch
+
+import "sync"
+
+// Event is the asynchronous communication primitive (paper §2 item 3b):
+// a small named message, optionally carrying a string argument, sent
+// from a component to a manager's event queue (or forwarded between
+// queues) at any moment, independent of the current iteration.
+type Event struct {
+	Name string
+	Arg  string
+}
+
+// EventQueue is a thread-safe FIFO of events. Managers poll their queue
+// at the entrance and exit of their subgraph every iteration.
+type EventQueue struct {
+	mu sync.Mutex
+	q  []Event
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Push appends an event.
+func (q *EventQueue) Push(ev Event) {
+	q.mu.Lock()
+	q.q = append(q.q, ev)
+	q.mu.Unlock()
+}
+
+// Drain removes and returns all queued events in arrival order.
+func (q *EventQueue) Drain() []Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.q) == 0 {
+		return nil
+	}
+	out := q.q
+	q.q = nil
+	return out
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.q)
+}

@@ -1,0 +1,101 @@
+package hinch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xspcl/internal/spacecake"
+)
+
+// ClassStats aggregates per-component-class counters from a run.
+type ClassStats struct {
+	Jobs      int64 // jobs executed
+	Ops       int64 // arithmetic operations charged (sim)
+	MemCycles int64 // memory latency cycles charged (sim)
+}
+
+// Report summarises one App.Run.
+type Report struct {
+	// Iterations actually processed (excluding cancelled ones after EOS).
+	Iterations int
+	// Cycles is the virtual completion time on the sim backend.
+	Cycles int64
+	// Wall is the elapsed host time (meaningful on the real backend).
+	Wall time.Duration
+	// Jobs is the total number of jobs executed.
+	Jobs int64
+	// Cores is the number of cores/workers used.
+	Cores int
+	// Cache holds the memory-system counters (sim backend).
+	Cache spacecake.Stats
+	// PerClass breaks work down by component class; manager entry/exit
+	// jobs appear under the pseudo-class "manager".
+	PerClass map[string]ClassStats
+	// CoreBusy is the busy time per core in cycles (sim backend).
+	CoreBusy []int64
+	// Reconfigs counts completed reconfigurations.
+	Reconfigs int
+	// ReconfigStall is the virtual time spent fully quiescent waiting
+	// for reconfigurations (sim backend).
+	ReconfigStall int64
+	// EventsEmitted counts events pushed to queues during the run.
+	EventsEmitted int64
+}
+
+// CyclesPerIteration returns the average virtual cost of one iteration.
+func (r *Report) CyclesPerIteration() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Iterations)
+}
+
+// Utilisation returns mean core-busy fraction on the sim backend.
+func (r *Report) Utilisation() float64 {
+	if r.Cycles == 0 || len(r.CoreBusy) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.CoreBusy {
+		busy += b
+	}
+	return float64(busy) / (float64(r.Cycles) * float64(len(r.CoreBusy)))
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations=%d jobs=%d cores=%d", r.Iterations, r.Jobs, r.Cores)
+	if r.Cycles > 0 {
+		fmt.Fprintf(&b, " cycles=%d (%.0f/iter, util %.0f%%)", r.Cycles, r.CyclesPerIteration(), 100*r.Utilisation())
+	}
+	if r.Wall > 0 {
+		fmt.Fprintf(&b, " wall=%v", r.Wall)
+	}
+	if r.Reconfigs > 0 {
+		fmt.Fprintf(&b, " reconfigs=%d stall=%d", r.Reconfigs, r.ReconfigStall)
+	}
+	if r.Cache != (spacecake.Stats{}) {
+		fmt.Fprintf(&b, " L1miss=%.1f%% L2miss=%d", 100*r.Cache.L1MissRate(), r.Cache.L2Misses)
+	}
+	classes := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		s := r.PerClass[c]
+		fmt.Fprintf(&b, "\n  %-14s jobs=%-6d ops=%-12d mem=%d", c, s.Jobs, s.Ops, s.MemCycles)
+	}
+	return b.String()
+}
+
+// metrics collects counters during a run; atomic so the real backend's
+// workers can update concurrently.
+type metrics struct {
+	jobs          atomic.Int64
+	eventsEmitted atomic.Int64
+}

@@ -1,0 +1,123 @@
+package hinch
+
+import (
+	"sync"
+	"time"
+
+	"xspcl/internal/graph"
+)
+
+// runReal drives the engine with a pool of worker goroutines sharing
+// the central job queue — the runtime's actual parallel execution mode,
+// used by the examples and concurrency tests. Virtual-cost accounting
+// is inert; Report.Wall carries the host elapsed time.
+func (e *engine) runReal() (*Report, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < e.app.cfg.Cores; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker()
+		}()
+	}
+
+	e.mu.Lock()
+	e.launch()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+	rep := e.report()
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// worker pulls jobs from the central queue until the run finishes or
+// fails. Manager jobs mutate engine state and therefore run under the
+// engine lock; component jobs run unlocked (their mutual exclusion
+// comes from the dependency structure: one instance never has two jobs
+// in flight thanks to the cross-iteration constraint).
+func (e *engine) worker() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for len(e.ready) == 0 && !e.finished() && e.err == nil {
+			e.cond.Wait()
+		}
+		if e.finished() || e.err != nil {
+			e.cond.Broadcast() // wake siblings so they can exit too
+			return
+		}
+		j, _ := e.pop()
+		if e.shouldPark(j) || e.needsBuffers(j) {
+			continue
+		}
+		if e.skipExecution(j) {
+			e.finishJob(j)
+			continue
+		}
+		e.ensureBuffers(j.iter)
+		e.app.metrics.jobs.Add(1)
+		e.classStats(j.task).Jobs++
+
+		switch j.task.Role {
+		case graph.RoleManagerEntry, graph.RoleManagerExit:
+			if _, err := e.managerPoll(j); err != nil {
+				e.fail(err)
+				return
+			}
+			e.finishJob(j)
+
+		case graph.RoleComponent:
+			inst, err := e.resolveInstance(j)
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			e.mu.Unlock()
+			_, runErr := e.executeComponent(j, inst, false)
+			e.mu.Lock()
+			if runErr != nil {
+				e.handleRunError(j, runErr)
+				if e.err != nil {
+					e.cond.Broadcast()
+					return
+				}
+			}
+			e.finishJob(j)
+		}
+	}
+}
+
+// finishJob retires a job; when its completion applied a
+// reconfiguration, the parked entry jobs resume immediately (the stall
+// is virtual time, inert on the real backend). Must be called with mu
+// held.
+func (e *engine) finishJob(j job) {
+	if res := e.complete(j); res != nil {
+		for _, pj := range res.parked {
+			e.push(pj)
+		}
+	}
+	if e.err != nil {
+		e.fail(e.err)
+		return
+	}
+	e.cond.Broadcast()
+}
+
+// fail records the first error and wakes all workers. Must be called
+// with mu held.
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast()
+}

@@ -1,0 +1,162 @@
+package hinch
+
+import (
+	"container/heap"
+	"fmt"
+
+	"xspcl/internal/graph"
+)
+
+// completion is a scheduled job-finish event in the discrete-event
+// simulation.
+type completion struct {
+	at     int64 // virtual time the event fires
+	seq    int64 // tie-breaker for determinism
+	core   int   // core freed by the event; -1 for reconfiguration resumes
+	j      job
+	resume []job // parked jobs released after a reconfiguration stall
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// runSim drives the engine with a deterministic discrete-event
+// simulation on the App's SpaceCAKE tile. Jobs are executed (their
+// components actually run) at dispatch time; their results become
+// visible to dependents at their virtual completion time, which is
+// dispatch time plus the job's compute cycles, memory cycles (from the
+// cache model) and the runtime's per-job overhead.
+func (e *engine) runSim() (*Report, error) {
+	a := e.app
+	cores := a.cfg.Cores
+	idle := make([]bool, cores)
+	for i := range idle {
+		idle[i] = true
+	}
+	nIdle := cores
+	busy := make([]int64, cores)
+	var clock, seq int64
+	var pending completionHeap
+
+	e.launch()
+	for {
+		// Dispatch ready jobs onto idle cores in FIFO order, lowest core
+		// first (deterministic).
+		for nIdle > 0 {
+			j, ok := e.pop()
+			if !ok {
+				break
+			}
+			if e.shouldPark(j) || e.needsBuffers(j) {
+				continue
+			}
+			e.ensureBuffers(j.iter)
+			core := 0
+			for !idle[core] {
+				core++
+			}
+			idle[core] = false
+			nIdle--
+			dur, err := e.execJobSim(j, core)
+			if err != nil {
+				return nil, err
+			}
+			seq++
+			heap.Push(&pending, completion{at: clock + dur, seq: seq, core: core, j: j})
+			busy[core] += dur
+		}
+		if len(pending) == 0 {
+			if e.finished() {
+				break
+			}
+			return nil, fmt.Errorf("hinch: scheduler stalled at cycle %d (%d iterations in flight)", clock, len(e.iters))
+		}
+		c := heap.Pop(&pending).(completion)
+		clock = c.at
+		if c.core < 0 {
+			// A reconfiguration stall elapsed: the manager's subgraph
+			// resumes and the parked iterations may enter it.
+			for _, pj := range c.resume {
+				e.push(pj)
+			}
+			continue
+		}
+		idle[c.core] = true
+		nIdle++
+		if res := e.complete(c.j); res != nil {
+			seq++
+			heap.Push(&pending, completion{at: clock + res.stall, seq: seq, core: -1, resume: res.parked})
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+	}
+
+	rep := e.report()
+	rep.Cycles = clock
+	rep.CoreBusy = busy
+	return rep, nil
+}
+
+// execJobSim executes one job immediately and returns its virtual
+// duration in cycles: runtime overhead + compute (charged ops) + memory
+// latency (the job's recorded accesses run through the cache model on
+// its core).
+func (e *engine) execJobSim(j job, core int) (int64, error) {
+	a := e.app
+	if e.skipExecution(j) {
+		// Cancelled iteration or disabled option: a zero-cost no-op
+		// that only moves the dependency machinery forward.
+		return 0, nil
+	}
+	cost := a.tile.Config().JobOverheadCycles
+	cs := e.classStats(j.task)
+	cs.Jobs++
+	a.metrics.jobs.Add(1)
+
+	switch j.task.Role {
+	case graph.RoleManagerEntry, graph.RoleManagerExit:
+		ops, err := e.managerPoll(j)
+		if err != nil {
+			return 0, err
+		}
+		cs.Ops += ops
+		return cost + ops, nil
+
+	case graph.RoleComponent:
+		inst, err := e.resolveInstance(j)
+		if err != nil {
+			return 0, err
+		}
+		rc, err := e.executeComponent(j, inst, true)
+		if err != nil {
+			e.handleRunError(j, err)
+			if e.err != nil {
+				return 0, e.err
+			}
+			// EOS: the job still completes; dependents of this cancelled
+			// iteration run as no-ops while the pipeline drains.
+		}
+		var mem int64
+		for _, acc := range rc.access {
+			mem += a.tile.AccessRegion(core, acc.Region, acc.Write)
+		}
+		for _, r := range rc.streamed {
+			mem += a.tile.AccessStreamed(core, r)
+		}
+		cs.Ops += rc.compute
+		cs.MemCycles += mem
+		return cost + rc.compute + mem, nil
+	}
+	return 0, fmt.Errorf("hinch: unknown task role %v", j.task.Role)
+}

@@ -1,0 +1,226 @@
+package hinch
+
+import (
+	"fmt"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+	"xspcl/internal/spacecake"
+)
+
+// A Stream is the synchronous communication primitive between
+// components (paper §2 item 3a): a bounded FIFO whose capacity equals
+// the pipeline depth, so each in-flight iteration owns one slot. Data
+// written in iteration k is read in the same iteration (ordering comes
+// from the task graph) and the slot is recycled when the iteration
+// retires.
+//
+// Slot buffers come from a LIFO pool: a retiring iteration's buffer is
+// handed to the next iteration that launches, so when the scheduler
+// keeps few iterations in flight the same (cache-hot) addresses are
+// reused — the behaviour of a real FIFO backed by a buffer pool. The
+// pool only grows to the actual iteration overlap, never beyond the
+// pipeline depth.
+//
+// Buffers for "frame" and "coeff" streams are pre-sized so that
+// multiple data-parallel writers can fill disjoint regions of one
+// element concurrently; "packet" and untyped streams carry whatever
+// payload the producer sets.
+type Stream struct {
+	name   string
+	decl   graph.StreamDecl
+	depth  int
+	addr   *spacecake.AddressSpace
+	pool   []*slot       // free buffers, most recently released last
+	active map[int]*slot // iteration -> buffer
+	allocd int
+}
+
+type slot struct {
+	payload any
+	region  spacecake.Region
+}
+
+// Packet is the element of a "packet" stream: one variable-size unit of
+// compressed data.
+type Packet struct {
+	Data []byte
+}
+
+// newStream builds a stream with the given FIFO capacity. When addr is
+// non-nil (sim backend), each buffer gets a simulated address region
+// sized for the element type.
+func newStream(decl graph.StreamDecl, depth int, addr *spacecake.AddressSpace) (*Stream, error) {
+	switch decl.Type {
+	case "frame", "coeff":
+		if decl.W <= 0 || decl.H <= 0 {
+			return nil, fmt.Errorf("hinch: %s stream %q needs positive dimensions", decl.Type, decl.Name)
+		}
+	case "packet", "":
+	default:
+		return nil, fmt.Errorf("hinch: stream %q has unknown type %q", decl.Name, decl.Type)
+	}
+	return &Stream{
+		name:   decl.Name,
+		decl:   decl,
+		depth:  depth,
+		addr:   addr,
+		active: map[int]*slot{},
+	}, nil
+}
+
+// elementBytes returns the simulated footprint of one stream element.
+func (s *Stream) elementBytes() int64 {
+	switch s.decl.Type {
+	case "frame":
+		return int64(s.decl.W*s.decl.H) * 3 / 2
+	case "coeff":
+		// 4 bytes per sample over all three 4:2:0 planes.
+		return int64(s.decl.W*s.decl.H) * 3 / 2 * 4
+	case "packet":
+		c := s.decl.Cap
+		if c <= 0 {
+			c = 64 << 10
+		}
+		return int64(c)
+	}
+	return 0
+}
+
+// newSlot allocates a fresh buffer.
+func (s *Stream) newSlot() *slot {
+	sl := &slot{}
+	if s.decl.Type == "frame" {
+		sl.payload = media.NewFrame(s.decl.W, s.decl.H)
+	}
+	if s.addr != nil {
+		if b := s.elementBytes(); b > 0 {
+			sl.region = s.addr.Alloc(b)
+		}
+	}
+	s.allocd++
+	return sl
+}
+
+// acquire assigns a buffer to iteration iter. The engine calls it at
+// iteration launch, under its lock.
+func (s *Stream) acquire(iter int) {
+	if _, dup := s.active[iter]; dup {
+		panic(fmt.Sprintf("hinch: stream %s: iteration %d acquired twice", s.name, iter))
+	}
+	if len(s.active) >= s.depth {
+		panic(fmt.Sprintf("hinch: stream %s: more than %d iterations in flight", s.name, s.depth))
+	}
+	var sl *slot
+	if n := len(s.pool); n > 0 {
+		sl = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+	} else {
+		sl = s.newSlot()
+	}
+	s.active[iter] = sl
+}
+
+// release returns iteration iter's buffer to the pool. The engine calls
+// it when the iteration retires.
+func (s *Stream) release(iter int) {
+	sl, ok := s.active[iter]
+	if !ok {
+		panic(fmt.Sprintf("hinch: stream %s: release of unknown iteration %d", s.name, iter))
+	}
+	delete(s.active, iter)
+	s.pool = append(s.pool, sl)
+}
+
+// slotFor returns the buffer owned by iteration iter.
+func (s *Stream) slotFor(iter int) *slot {
+	sl, ok := s.active[iter]
+	if !ok {
+		panic(fmt.Sprintf("hinch: stream %s: iteration %d has no buffer", s.name, iter))
+	}
+	return sl
+}
+
+// Name returns the stream's declared name.
+func (s *Stream) Name() string { return s.name }
+
+// Decl returns the stream's declaration.
+func (s *Stream) Decl() graph.StreamDecl { return s.decl }
+
+// BuffersAllocated reports how many distinct buffers the pool grew to —
+// the actual iteration overlap the scheduler produced.
+func (s *Stream) BuffersAllocated() int { return s.allocd }
+
+// FramePlaneRegion returns the simulated region covering rows [r0, r1)
+// of the given plane within a frame stream slot region. The frame
+// layout is planar Y, U, V (4:2:0).
+func FramePlaneRegion(slotRegion spacecake.Region, w, h int, plane media.PlaneID, r0, r1 int) spacecake.Region {
+	if r1 <= r0 {
+		return spacecake.Region{}
+	}
+	if slotRegion.Bytes == 0 {
+		return spacecake.Region{}
+	}
+	pw, _ := media.PlaneDims(plane, w, h)
+	var base int64
+	switch plane {
+	case media.PlaneY:
+		base = 0
+	case media.PlaneU:
+		base = int64(w * h)
+	case media.PlaneV:
+		base = int64(w*h) + int64((w/2)*(h/2))
+	}
+	return slotRegion.Sub(base+int64(r0*pw), int64((r1-r0)*pw))
+}
+
+// CoeffPlaneRegion returns the simulated region covering the
+// coefficients of pixel rows [r0, r1) of the given plane within a coeff
+// stream slot region (4 bytes per sample, planar layout).
+func CoeffPlaneRegion(slotRegion spacecake.Region, w, h int, plane media.PlaneID, r0, r1 int) spacecake.Region {
+	if r1 <= r0 || slotRegion.Bytes == 0 {
+		return spacecake.Region{}
+	}
+	pw, _ := media.PlaneDims(plane, w, h)
+	var base int64
+	switch plane {
+	case media.PlaneY:
+		base = 0
+	case media.PlaneU:
+		base = int64(w*h) * 4
+	case media.PlaneV:
+		base = int64(w*h)*4 + int64((w/2)*(h/2))*4
+	}
+	return slotRegion.Sub(base+int64(r0*pw)*4, int64((r1-r0)*pw)*4)
+}
+
+// FrameOf extracts a *media.Frame payload, reporting a typed error for
+// misuse.
+func FrameOf(v any, port string) (*media.Frame, error) {
+	f, ok := v.(*media.Frame)
+	if !ok {
+		return nil, fmt.Errorf("hinch: port %q holds %T, want *media.Frame", port, v)
+	}
+	return f, nil
+}
+
+// PacketOf extracts a *Packet payload, reporting a typed error for
+// misuse.
+func PacketOf(v any, port string) (*Packet, error) {
+	p, ok := v.(*Packet)
+	if !ok {
+		return nil, fmt.Errorf("hinch: port %q holds %T, want *hinch.Packet", port, v)
+	}
+	return p, nil
+}
+
+// CoeffFrameOf extracts a *mjpeg.CoeffFrame payload, reporting a typed
+// error for misuse.
+func CoeffFrameOf(v any, port string) (*mjpeg.CoeffFrame, error) {
+	cf, ok := v.(*mjpeg.CoeffFrame)
+	if !ok {
+		return nil, fmt.Errorf("hinch: port %q holds %T, want *mjpeg.CoeffFrame", port, v)
+	}
+	return cf, nil
+}

@@ -1,0 +1,39 @@
+package kernels
+
+import "testing"
+
+func BenchmarkDownscalePlane720p(b *testing.B) {
+	src := randomPlane(1280, 720, 1)
+	dst := make([]uint8, 80*44)
+	b.SetBytes(1280 * 720)
+	for i := 0; i < b.N; i++ {
+		DownscalePlane(dst, 80, 44, src, 1280, 720, 16, 0, 44)
+	}
+}
+
+func BenchmarkBlendPlane(b *testing.B) {
+	dst := randomPlane(720, 576, 2)
+	small := randomPlane(180, 144, 3)
+	b.SetBytes(180 * 144)
+	for i := 0; i < b.N; i++ {
+		BlendPlane(dst, 720, 576, small, 180, 144, 16, 16, 256, 0, 144)
+	}
+}
+
+func BenchmarkBlurH5(b *testing.B) {
+	src := randomPlane(360, 288, 4)
+	dst := make([]uint8, 360*288)
+	b.SetBytes(360 * 288)
+	for i := 0; i < b.N; i++ {
+		BlurHPlane(dst, src, 360, 288, 5, 0, 288)
+	}
+}
+
+func BenchmarkBlurV5(b *testing.B) {
+	src := randomPlane(360, 288, 5)
+	dst := make([]uint8, 360*288)
+	b.SetBytes(360 * 288)
+	for i := 0; i < b.N; i++ {
+		BlurVPlane(dst, src, 360, 288, 5, 0, 288)
+	}
+}

@@ -1,0 +1,191 @@
+// Package kernels implements the pure pixel kernels used by the XSPCL
+// component library and by the hand-written sequential baseline
+// applications: box downscaling, picture-in-picture blending, plane
+// copy, and separable Gaussian blur.
+//
+// Every kernel comes in a row-range form so that data-parallel "slice"
+// component copies can each process their assigned horizontal band, and
+// each kernel has a companion Ops function giving its arithmetic
+// operation count. The SpaceCAKE-substitute simulator charges
+// compute cycles as ops × CPI, so the Ops functions are the single
+// source of truth for the cost model and are exercised directly by the
+// experiment harness.
+package kernels
+
+// DownscalePlane box-downscales one plane by an integer factor.
+// src is sw×sh, dst is (sw/factor)×(sh/factor); each destination sample
+// is the rounded average of a factor×factor source box. Only
+// destination rows [r0, r1) are written, so slice copies can share the
+// destination buffer.
+func DownscalePlane(dst []uint8, dw, dh int, src []uint8, sw, sh, factor, r0, r1 int) {
+	DownscaleWindow(dst, dw, 0, 0, dw, dh, src, sw, sh, factor, r0, r1)
+}
+
+// DownscaleWindow box-downscales src (sw×sh) by factor into a window of
+// a larger destination plane: the ow×oh downscaled image lands in dst
+// (a dw-wide plane) with its top-left corner at (ox, oy). Only output
+// rows [r0, r1) of the window are written.
+//
+// This is the fused downscale+blend the paper's hand-written sequential
+// PiP/JPiP versions use ("the sequential versions ... combine several
+// operations, for example down scaling and blending, into a single
+// function"): the scaled pixels go straight into the composite frame,
+// with no intermediate small-frame buffer.
+func DownscaleWindow(dst []uint8, dw, ox, oy, ow, oh int, src []uint8, sw, sh, factor, r0, r1 int) {
+	if ow*factor > sw || oh*factor > sh {
+		panic("kernels: downscale geometry mismatch")
+	}
+	if ox < 0 || oy < 0 || (ox+ow) > dw || (oy+oh)*dw > len(dst) {
+		panic("kernels: downscale window out of bounds")
+	}
+	half := factor * factor / 2
+	div := factor * factor
+	for y := r0; y < r1; y++ {
+		sy0 := y * factor
+		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+ow]
+		for x := 0; x < ow; x++ {
+			sx0 := x * factor
+			sum := half
+			for dy := 0; dy < factor; dy++ {
+				srow := src[(sy0+dy)*sw+sx0 : (sy0+dy)*sw+sx0+factor]
+				for dx := 0; dx < factor; dx++ {
+					sum += int(srow[dx])
+				}
+			}
+			drow[x] = uint8(sum / div)
+		}
+	}
+}
+
+// DownscaleOps returns the cycle-calibrated operation count for
+// downscaling outPixels destination samples by the given factor. The
+// scaler is a proper polyphase filter, not a bare box average: each of
+// the factor² contributing samples costs ~10 operations (load, weight
+// multiply, accumulate, address update) plus a fixed per-output cost
+// for normalisation, clamping and store.
+func DownscaleOps(outPixels, factor int) int64 {
+	return int64(outPixels) * int64(10*factor*factor+30)
+}
+
+// BlendPlane blends the small plane onto the dst plane with its top-left
+// corner at (ox, oy), processing only small rows [r0, r1). alpha is in
+// [0,256]: 256 overwrites dst entirely (opaque picture-in-picture), 128
+// is an even mix. Offsets must keep the small plane inside dst.
+func BlendPlane(dst []uint8, dw, dh int, small []uint8, sw, sh, ox, oy, alpha, r0, r1 int) {
+	if ox < 0 || oy < 0 || ox+sw > dw || oy+sh > dh {
+		panic("kernels: blend region out of bounds")
+	}
+	if alpha < 0 || alpha > 256 {
+		panic("kernels: blend alpha out of range")
+	}
+	for y := r0; y < r1; y++ {
+		srow := small[y*sw : (y+1)*sw]
+		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+sw]
+		if alpha == 256 {
+			copy(drow, srow)
+			continue
+		}
+		inv := 256 - alpha
+		for x := 0; x < sw; x++ {
+			drow[x] = uint8((int(srow[x])*alpha + int(drow[x])*inv + 128) >> 8)
+		}
+	}
+}
+
+// BlendOps returns the cycle-calibrated operation count for blending
+// pixels samples. The opaque case is a vectorised copy (see CopyOps);
+// a true alpha blend costs ~3 scalar operations per sample.
+func BlendOps(pixels, alpha int) int64 {
+	if alpha == 256 {
+		return CopyOps(pixels)
+	}
+	return int64(pixels) * 3
+}
+
+// CopyPlaneRows copies rows [r0, r1) of a w-wide plane from src to dst.
+func CopyPlaneRows(dst, src []uint8, w, r0, r1 int) {
+	copy(dst[r0*w:r1*w], src[r0*w:r1*w])
+}
+
+// CopyOps returns the cycle-calibrated operation count for moving
+// pixels samples: the modelled VLIW core copies with wide dual-issued
+// loads and stores, ~4 bytes per cycle.
+func CopyOps(pixels int) int64 { return int64(pixels)/4 + 1 }
+
+// Gaussian kernels with σ=1 as used by the paper's Blur application:
+// the binomial approximations [1 2 1]/4 and [1 4 6 4 1]/16.
+var (
+	gauss3 = [3]int{1, 2, 1}
+	gauss5 = [5]int{1, 4, 6, 4, 1}
+)
+
+// BlurHPlane applies the horizontal pass of a 3- or 5-tap Gaussian to
+// rows [r0, r1) of a w×h plane. taps must be 3 or 5. Borders clamp.
+func BlurHPlane(dst, src []uint8, w, h, taps, r0, r1 int) {
+	radius, kern, shift := blurKernel(taps)
+	for y := r0; y < r1; y++ {
+		srow := src[y*w : (y+1)*w]
+		drow := dst[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			sum := 1 << (shift - 1)
+			for k := -radius; k <= radius; k++ {
+				sx := x + k
+				if sx < 0 {
+					sx = 0
+				} else if sx >= w {
+					sx = w - 1
+				}
+				sum += kern[k+radius] * int(srow[sx])
+			}
+			drow[x] = uint8(sum >> shift)
+		}
+	}
+}
+
+// BlurVPlane applies the vertical pass of a 3- or 5-tap Gaussian to rows
+// [r0, r1) of a w×h plane. It reads up to radius rows above r0 and below
+// r1 (clamped at the plane borders): the halo that gives the Blur
+// application its crossdep dependency structure.
+func BlurVPlane(dst, src []uint8, w, h, taps, r0, r1 int) {
+	radius, kern, shift := blurKernel(taps)
+	for y := r0; y < r1; y++ {
+		drow := dst[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			sum := 1 << (shift - 1)
+			for k := -radius; k <= radius; k++ {
+				sy := y + k
+				if sy < 0 {
+					sy = 0
+				} else if sy >= h {
+					sy = h - 1
+				}
+				sum += kern[k+radius] * int(src[sy*w+x])
+			}
+			drow[x] = uint8(sum >> shift)
+		}
+	}
+}
+
+// BlurOps returns the arithmetic operation count of one blur pass
+// (horizontal or vertical) over pixels samples with the given tap count:
+// one multiply-accumulate per tap plus the rounding shift.
+func BlurOps(pixels, taps int) int64 {
+	return int64(pixels) * int64(2*taps+1)
+}
+
+func blurKernel(taps int) (radius int, kern []int, shift uint) {
+	switch taps {
+	case 3:
+		return 1, gauss3[:], 2
+	case 5:
+		return 2, gauss5[:], 4
+	}
+	panic("kernels: blur taps must be 3 or 5")
+}
+
+// BlurHaloRadius returns the number of neighbour rows a vertical blur
+// pass of the given tap count needs beyond its assigned band.
+func BlurHaloRadius(taps int) int {
+	r, _, _ := blurKernel(taps)
+	return r
+}

@@ -1,0 +1,347 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xspcl/internal/media"
+)
+
+// refDownscale is an independent, obviously-correct reference.
+func refDownscale(src []uint8, sw, sh, f int) []uint8 {
+	dw, dh := sw/f, sh/f
+	dst := make([]uint8, dw*dh)
+	for y := 0; y < dh; y++ {
+		for x := 0; x < dw; x++ {
+			sum := f * f / 2
+			for dy := 0; dy < f; dy++ {
+				for dx := 0; dx < f; dx++ {
+					sum += int(src[(y*f+dy)*sw+x*f+dx])
+				}
+			}
+			dst[y*dw+x] = uint8(sum / (f * f))
+		}
+	}
+	return dst
+}
+
+func randomPlane(w, h int, seed uint64) []uint8 {
+	r := media.NewRNG(seed)
+	p := make([]uint8, w*h)
+	for i := range p {
+		p[i] = r.Byte()
+	}
+	return p
+}
+
+func TestDownscaleMatchesReference(t *testing.T) {
+	for _, f := range []int{2, 3, 4, 16} {
+		sw, sh := 16*f, 8*f
+		src := randomPlane(sw, sh, uint64(f))
+		want := refDownscale(src, sw, sh, f)
+		got := make([]uint8, (sw/f)*(sh/f))
+		DownscalePlane(got, sw/f, sh/f, src, sw, sh, f, 0, sh/f)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("factor %d: pixel %d: got %d want %d", f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDownscaleSlicedEqualsWhole(t *testing.T) {
+	sw, sh, f := 64, 48, 4
+	src := randomPlane(sw, sh, 3)
+	dw, dh := sw/f, sh/f
+	whole := make([]uint8, dw*dh)
+	DownscalePlane(whole, dw, dh, src, sw, sh, f, 0, dh)
+	sliced := make([]uint8, dw*dh)
+	n := 5
+	for i := 0; i < n; i++ {
+		r0, r1 := media.SliceRows(dh, i, n)
+		DownscalePlane(sliced, dw, dh, src, sw, sh, f, r0, r1)
+	}
+	for i := range whole {
+		if whole[i] != sliced[i] {
+			t.Fatalf("pixel %d differs between whole and sliced downscale", i)
+		}
+	}
+}
+
+func TestDownscaleGeometryPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad geometry")
+		}
+	}()
+	DownscalePlane(make([]uint8, 100), 10, 10, make([]uint8, 100), 10, 10, 2, 0, 10)
+}
+
+func TestDownscaleConstantPlane(t *testing.T) {
+	src := make([]uint8, 32*32)
+	for i := range src {
+		src[i] = 77
+	}
+	dst := make([]uint8, 8*8)
+	DownscalePlane(dst, 8, 8, src, 32, 32, 4, 0, 8)
+	for i, v := range dst {
+		if v != 77 {
+			t.Fatalf("pixel %d = %d, want 77", i, v)
+		}
+	}
+}
+
+func TestBlendOpaqueOverwrites(t *testing.T) {
+	dst := make([]uint8, 32*32)
+	small := randomPlane(8, 8, 4)
+	BlendPlane(dst, 32, 32, small, 8, 8, 4, 6, 256, 0, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if dst[(6+y)*32+4+x] != small[y*8+x] {
+				t.Fatalf("pixel (%d,%d) not copied", x, y)
+			}
+		}
+	}
+	// Outside the blend region must stay zero.
+	if dst[0] != 0 || dst[31] != 0 || dst[32*32-1] != 0 {
+		t.Fatal("blend wrote outside its region")
+	}
+}
+
+func TestBlendAlphaMidpoint(t *testing.T) {
+	dst := make([]uint8, 16*16)
+	for i := range dst {
+		dst[i] = 100
+	}
+	small := make([]uint8, 4*4)
+	for i := range small {
+		small[i] = 200
+	}
+	BlendPlane(dst, 16, 16, small, 4, 4, 0, 0, 128, 0, 4)
+	if got := dst[0]; got < 149 || got > 151 {
+		t.Fatalf("50%% blend of 100 and 200 = %d", got)
+	}
+}
+
+func TestBlendBoundsPanic(t *testing.T) {
+	cases := [][2]int{{30, 0}, {0, 30}, {-1, 0}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("blend at (%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			BlendPlane(make([]uint8, 32*32), 32, 32, make([]uint8, 8*8), 8, 8, c[0], c[1], 256, 0, 8)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("alpha 300 did not panic")
+			}
+		}()
+		BlendPlane(make([]uint8, 32*32), 32, 32, make([]uint8, 8*8), 8, 8, 0, 0, 300, 0, 8)
+	}()
+}
+
+func TestBlendSlicedEqualsWhole(t *testing.T) {
+	bg := randomPlane(32, 32, 5)
+	small := randomPlane(16, 16, 6)
+	whole := append([]uint8(nil), bg...)
+	BlendPlane(whole, 32, 32, small, 16, 16, 8, 8, 128, 0, 16)
+	sliced := append([]uint8(nil), bg...)
+	for i := 0; i < 4; i++ {
+		r0, r1 := media.SliceRows(16, i, 4)
+		BlendPlane(sliced, 32, 32, small, 16, 16, 8, 8, 128, r0, r1)
+	}
+	for i := range whole {
+		if whole[i] != sliced[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestCopyPlaneRows(t *testing.T) {
+	src := randomPlane(16, 8, 7)
+	dst := make([]uint8, 16*8)
+	CopyPlaneRows(dst, src, 16, 2, 6)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			want := uint8(0)
+			if y >= 2 && y < 6 {
+				want = src[y*16+x]
+			}
+			if dst[y*16+x] != want {
+				t.Fatalf("pixel (%d,%d) = %d want %d", x, y, dst[y*16+x], want)
+			}
+		}
+	}
+}
+
+// refBlur applies a full 2-D Gaussian directly, as a reference for the
+// separable implementation.
+func refBlur(src []uint8, w, h, taps int) []uint8 {
+	var kern []int
+	var div int
+	if taps == 3 {
+		kern = []int{1, 2, 1}
+		div = 4
+	} else {
+		kern = []int{1, 4, 6, 4, 1}
+		div = 16
+	}
+	r := taps / 2
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	// Horizontal then vertical with intermediate rounding, matching the
+	// separable two-pass structure.
+	tmp := make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := div / 2
+			for k := -r; k <= r; k++ {
+				sum += kern[k+r] * int(src[y*w+clamp(x+k, 0, w-1)])
+			}
+			tmp[y*w+x] = uint8(sum / div)
+		}
+	}
+	dst := make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := div / 2
+			for k := -r; k <= r; k++ {
+				sum += kern[k+r] * int(tmp[clamp(y+k, 0, h-1)*w+x])
+			}
+			dst[y*w+x] = uint8(sum / div)
+		}
+	}
+	return dst
+}
+
+func TestBlurMatchesReference(t *testing.T) {
+	for _, taps := range []int{3, 5} {
+		w, h := 48, 36
+		src := randomPlane(w, h, uint64(taps))
+		tmp := make([]uint8, w*h)
+		dst := make([]uint8, w*h)
+		BlurHPlane(tmp, src, w, h, taps, 0, h)
+		BlurVPlane(dst, tmp, w, h, taps, 0, h)
+		want := refBlur(src, w, h, taps)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("taps %d: pixel %d: got %d want %d", taps, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlurSlicedEqualsWhole(t *testing.T) {
+	for _, taps := range []int{3, 5} {
+		w, h := 64, 45
+		src := randomPlane(w, h, uint64(10+taps))
+		tmpW := make([]uint8, w*h)
+		dstW := make([]uint8, w*h)
+		BlurHPlane(tmpW, src, w, h, taps, 0, h)
+		BlurVPlane(dstW, tmpW, w, h, taps, 0, h)
+
+		tmpS := make([]uint8, w*h)
+		dstS := make([]uint8, w*h)
+		n := 9
+		for i := 0; i < n; i++ {
+			r0, r1 := media.SliceRows(h, i, n)
+			BlurHPlane(tmpS, src, w, h, taps, r0, r1)
+		}
+		for i := 0; i < n; i++ {
+			r0, r1 := media.SliceRows(h, i, n)
+			BlurVPlane(dstS, tmpS, w, h, taps, r0, r1)
+		}
+		for i := range dstW {
+			if dstW[i] != dstS[i] {
+				t.Fatalf("taps %d: pixel %d differs between whole and sliced blur", taps, i)
+			}
+		}
+	}
+}
+
+func TestBlurSmoothsStep(t *testing.T) {
+	// Blurring a step edge must produce intermediate values.
+	w, h := 16, 16
+	src := make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 8; x < w; x++ {
+			src[y*w+x] = 255
+		}
+	}
+	tmp := make([]uint8, w*h)
+	dst := make([]uint8, w*h)
+	BlurHPlane(tmp, src, w, h, 5, 0, h)
+	BlurVPlane(dst, tmp, w, h, 5, 0, h)
+	if dst[7] == 0 || dst[7] == 255 {
+		t.Fatalf("edge pixel not smoothed: %d", dst[7])
+	}
+}
+
+func TestBlurInvalidTapsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("taps=7 did not panic")
+		}
+	}()
+	BlurHPlane(make([]uint8, 16), make([]uint8, 16), 4, 4, 7, 0, 4)
+}
+
+func TestBlurHaloRadius(t *testing.T) {
+	if BlurHaloRadius(3) != 1 || BlurHaloRadius(5) != 2 {
+		t.Fatal("wrong halo radii")
+	}
+}
+
+func TestBlurConstantInvariance(t *testing.T) {
+	// A Gaussian must leave constant planes unchanged (kernel sums to 1).
+	if err := quick.Check(func(v uint8, tapSel bool) bool {
+		taps := 3
+		if tapSel {
+			taps = 5
+		}
+		w, h := 24, 16
+		src := make([]uint8, w*h)
+		for i := range src {
+			src[i] = v
+		}
+		tmp := make([]uint8, w*h)
+		dst := make([]uint8, w*h)
+		BlurHPlane(tmp, src, w, h, taps, 0, h)
+		BlurVPlane(dst, tmp, w, h, taps, 0, h)
+		for i := range dst {
+			if dst[i] != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpsCountsPositiveAndMonotone(t *testing.T) {
+	if DownscaleOps(100, 4) <= DownscaleOps(100, 2) {
+		t.Fatal("downscale ops not monotone in factor")
+	}
+	if BlendOps(100, 128) <= BlendOps(100, 256) {
+		t.Fatal("true blend should cost more than opaque copy")
+	}
+	if CopyOps(400) != 101 {
+		t.Fatalf("copy ops = %d, want 101 (vectorised copy, 4 bytes/cycle)", CopyOps(400))
+	}
+	if BlurOps(100, 5) <= BlurOps(100, 3) {
+		t.Fatal("blur ops not monotone in taps")
+	}
+}

@@ -1,0 +1,88 @@
+package media
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// MaxAbsDiff returns the maximum absolute sample difference between two
+// frames of identical dimensions. It panics on a size mismatch: callers
+// compare frames they produced themselves.
+func MaxAbsDiff(a, b *Frame) int {
+	mustSameSize(a, b)
+	maxd := 0
+	for _, pl := range Planes {
+		pa, _, _ := a.Plane(pl)
+		pb, _, _ := b.Plane(pl)
+		for i := range pa {
+			d := int(pa[i]) - int(pb[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	return maxd
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two frames
+// of identical dimensions, computed over all three planes. Identical
+// frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	mustSameSize(a, b)
+	var sse float64
+	var n int
+	for _, pl := range Planes {
+		pa, _, _ := a.Plane(pl)
+		pb, _, _ := b.Plane(pl)
+		for i := range pa {
+			d := float64(int(pa[i]) - int(pb[i]))
+			sse += d * d
+		}
+		n += len(pa)
+	}
+	if sse == 0 {
+		return math.Inf(1)
+	}
+	mse := sse / float64(n)
+	return 10 * math.Log10(255*255/mse)
+}
+
+// Checksum returns a stable FNV-1a checksum of the frame contents,
+// including its dimensions. It is used by integration tests to compare
+// full output sequences cheaply.
+func Checksum(f *Frame) uint64 {
+	h := fnv.New64a()
+	var dims [4]byte
+	dims[0] = byte(f.W)
+	dims[1] = byte(f.W >> 8)
+	dims[2] = byte(f.H)
+	dims[3] = byte(f.H >> 8)
+	h.Write(dims[:])
+	h.Write(f.Y)
+	h.Write(f.U)
+	h.Write(f.V)
+	return h.Sum64()
+}
+
+// SequenceChecksum folds the checksums of a frame sequence into one value.
+func SequenceChecksum(frames []*Frame) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, f := range frames {
+		c := Checksum(f)
+		for i := range buf {
+			buf[i] = byte(c >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func mustSameSize(a, b *Frame) {
+	if a.W != b.W || a.H != b.H {
+		panic("media: frame size mismatch")
+	}
+}

@@ -1,0 +1,176 @@
+// Package media provides the video substrate used by the XSPCL
+// applications: YUV 4:2:0 frames, a deterministic synthetic video
+// generator, raw-YUV file I/O and comparison utilities.
+//
+// The paper evaluates on proprietary uncompressed and motion-JPEG video
+// files. This package substitutes a seeded synthetic generator so that
+// every experiment is reproducible bit-for-bit on any machine, while
+// exercising exactly the same kernel code paths (the kernels are
+// data-independent in cost).
+package media
+
+import "fmt"
+
+// PlaneID identifies one of the three color planes of a Frame.
+type PlaneID int
+
+// The three planes of a YUV 4:2:0 frame. The paper's applications
+// process "the various color fields in the images concurrently", so the
+// component library operates on single planes.
+const (
+	PlaneY PlaneID = iota
+	PlaneU
+	PlaneV
+)
+
+// String returns the conventional single-letter plane name.
+func (p PlaneID) String() string {
+	switch p {
+	case PlaneY:
+		return "Y"
+	case PlaneU:
+		return "U"
+	case PlaneV:
+		return "V"
+	}
+	return fmt.Sprintf("PlaneID(%d)", int(p))
+}
+
+// Planes lists all plane IDs in canonical order.
+var Planes = [3]PlaneID{PlaneY, PlaneU, PlaneV}
+
+// Frame is a YUV 4:2:0 video frame. Y has W×H samples; U and V have
+// (W/2)×(H/2) samples each. W and H must be even (and are multiples of
+// 16 for all frames produced by this package, so that the MJPEG codec
+// can operate on whole macroblocks).
+type Frame struct {
+	W, H    int
+	Y, U, V []uint8
+}
+
+// NewFrame allocates a zeroed frame. It panics if w or h is not
+// positive and even, since every caller in this repository constructs
+// frames from validated application geometry.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("media: invalid frame size %dx%d", w, h))
+	}
+	return &Frame{
+		W: w,
+		H: h,
+		Y: make([]uint8, w*h),
+		U: make([]uint8, (w/2)*(h/2)),
+		V: make([]uint8, (w/2)*(h/2)),
+	}
+}
+
+// CW returns the chroma plane width (W/2).
+func (f *Frame) CW() int { return f.W / 2 }
+
+// CH returns the chroma plane height (H/2).
+func (f *Frame) CH() int { return f.H / 2 }
+
+// Bytes returns the total number of sample bytes in the frame
+// (1.5 bytes per pixel for 4:2:0).
+func (f *Frame) Bytes() int { return len(f.Y) + len(f.U) + len(f.V) }
+
+// Plane returns the samples and dimensions of the requested plane.
+func (f *Frame) Plane(id PlaneID) (data []uint8, w, h int) {
+	switch id {
+	case PlaneY:
+		return f.Y, f.W, f.H
+	case PlaneU:
+		return f.U, f.CW(), f.CH()
+	case PlaneV:
+		return f.V, f.CW(), f.CH()
+	}
+	panic(fmt.Sprintf("media: unknown plane %d", int(id)))
+}
+
+// PlaneDims returns the dimensions a plane of the given ID would have
+// for a frame of size w×h.
+func PlaneDims(id PlaneID, w, h int) (pw, ph int) {
+	if id == PlaneY {
+		return w, h
+	}
+	return w / 2, h / 2
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.W, f.H)
+	copy(g.Y, f.Y)
+	copy(g.U, f.U)
+	copy(g.V, f.V)
+	return g
+}
+
+// CopyFrom copies the contents of src into f. The frames must have the
+// same dimensions.
+func (f *Frame) CopyFrom(src *Frame) error {
+	if f.W != src.W || f.H != src.H {
+		return fmt.Errorf("media: copy size mismatch: %dx%d vs %dx%d", f.W, f.H, src.W, src.H)
+	}
+	copy(f.Y, src.Y)
+	copy(f.U, src.U)
+	copy(f.V, src.V)
+	return nil
+}
+
+// Equal reports whether two frames have identical dimensions and
+// samples.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	return bytesEqual(f.Y, g.Y) && bytesEqual(f.U, g.U) && bytesEqual(f.V, g.V)
+}
+
+func bytesEqual(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every sample of the frame to the given Y, U and V values.
+func (f *Frame) Fill(y, u, v uint8) {
+	for i := range f.Y {
+		f.Y[i] = y
+	}
+	for i := range f.U {
+		f.U[i] = u
+	}
+	for i := range f.V {
+		f.V[i] = v
+	}
+}
+
+// SliceRows partitions h rows into n horizontal slices and returns the
+// half-open row range [r0, r1) assigned to slice i. This is the slice
+// assignment the Hinch runtime hands to data-parallel component copies
+// through their reconfiguration interface (paper §3.3: "each copy is
+// given its position within the group together with the group size";
+// "in case of images these regions correspond to horizontal slices").
+//
+// Rows are distributed as evenly as possible: the first h%n slices get
+// one extra row. When n exceeds h (over-decomposition), trailing slices
+// receive empty ranges (r0 == r1) and their copies become no-ops.
+func SliceRows(h, i, n int) (r0, r1 int) {
+	if n <= 0 || i < 0 || i >= n || h < 0 {
+		panic(fmt.Sprintf("media: bad slice %d of %d", i, n))
+	}
+	base := h / n
+	extra := h % n
+	r0 = i*base + min(i, extra)
+	r1 = r0 + base
+	if i < extra {
+		r1++
+	}
+	return r0, r1
+}

@@ -1,0 +1,87 @@
+package media
+
+// Generator produces a deterministic synthetic video stream: a moving
+// diagonal luminance gradient with a textured moving square and slowly
+// varying chroma fields. The content is irrelevant to the experiments
+// (the kernels are data-independent in cost) but it is non-trivial so
+// that the MJPEG codec, the downscaler and the blender are exercised on
+// realistic data, and deterministic so that golden outputs are stable.
+type Generator struct {
+	W, H  int
+	seed  uint64
+	frame int
+}
+
+// NewGenerator returns a generator for w×h frames. Two generators with
+// the same dimensions and seed produce identical streams.
+func NewGenerator(w, h int, seed uint64) *Generator {
+	return &Generator{W: w, H: h, seed: seed}
+}
+
+// FrameIndex returns the index of the next frame Next will produce.
+func (g *Generator) FrameIndex() int { return g.frame }
+
+// Next produces the next frame of the stream.
+func (g *Generator) Next() *Frame {
+	f := NewFrame(g.W, g.H)
+	g.Render(f, g.frame)
+	g.frame++
+	return f
+}
+
+// Render fills dst with frame number n of the stream. dst must be
+// g.W×g.H. Render is a pure function of (seed, n, dst geometry), which
+// lets data-parallel tests regenerate any frame independently.
+func (g *Generator) Render(dst *Frame, n int) {
+	w, h := g.W, g.H
+	phase := n * 3
+	// Luminance: moving diagonal gradient.
+	for y := 0; y < h; y++ {
+		row := dst.Y[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			row[x] = uint8((x + y + phase) & 0xff)
+		}
+	}
+	// A moving textured square (gives the codec some high-frequency
+	// content and makes the blended picture visually identifiable).
+	side := h / 4
+	if side < 16 {
+		side = 16
+	}
+	if side > h/2 {
+		side = h / 2
+	}
+	if side > w/2 {
+		side = w / 2
+	}
+	ox := (n * 5) % (w - side + 1)
+	oy := (n * 2) % (h - side + 1)
+	rng := NewRNG(g.seed + uint64(n)*0x1000193)
+	for y := 0; y < side; y++ {
+		row := dst.Y[(oy+y)*w+ox : (oy+y)*w+ox+side]
+		for x := range row {
+			row[x] = 128 + uint8(rng.Intn(96)) - 48
+		}
+	}
+	// Chroma: slow horizontal / vertical ramps that drift with n.
+	cw, ch := dst.CW(), dst.CH()
+	for y := 0; y < ch; y++ {
+		urow := dst.U[y*cw : (y+1)*cw]
+		vrow := dst.V[y*cw : (y+1)*cw]
+		for x := 0; x < cw; x++ {
+			urow[x] = uint8((2*x + phase) & 0xff)
+			vrow[x] = uint8((2*y + 255 - phase) & 0xff)
+		}
+	}
+}
+
+// GenerateSequence renders frames [0, n) of a fresh stream with the
+// given geometry and seed.
+func GenerateSequence(w, h, n int, seed uint64) []*Frame {
+	g := NewGenerator(w, h, seed)
+	frames := make([]*Frame, n)
+	for i := range frames {
+		frames[i] = g.Next()
+	}
+	return frames
+}

@@ -1,0 +1,60 @@
+package media
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteYUV writes the frame in planar I420 order (Y then U then V) to w.
+func WriteYUV(w io.Writer, f *Frame) error {
+	for _, p := range [][]uint8{f.Y, f.U, f.V} {
+		if _, err := w.Write(p); err != nil {
+			return fmt.Errorf("media: write yuv: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadYUV reads one planar I420 frame of size w×h from r. It returns
+// io.EOF (unwrapped) if the stream ends cleanly before the frame starts,
+// and io.ErrUnexpectedEOF if it ends mid-frame.
+func ReadYUV(r io.Reader, w, h int) (*Frame, error) {
+	f := NewFrame(w, h)
+	for i, p := range [][]uint8{f.Y, f.U, f.V} {
+		if _, err := io.ReadFull(r, p); err != nil {
+			if err == io.EOF && i == 0 {
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// WriteYUVSequence writes all frames to w in order.
+func WriteYUVSequence(w io.Writer, frames []*Frame) error {
+	for _, f := range frames {
+		if err := WriteYUV(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadYUVSequence reads frames of size w×h from r until EOF.
+func ReadYUVSequence(r io.Reader, w, h int) ([]*Frame, error) {
+	var frames []*Frame
+	for {
+		f, err := ReadYUV(r, w, h)
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+}

@@ -1,0 +1,292 @@
+package media
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameDims(t *testing.T) {
+	f := NewFrame(64, 32)
+	if len(f.Y) != 64*32 || len(f.U) != 32*16 || len(f.V) != 32*16 {
+		t.Fatalf("plane sizes: Y=%d U=%d V=%d", len(f.Y), len(f.U), len(f.V))
+	}
+	if f.CW() != 32 || f.CH() != 16 {
+		t.Fatalf("chroma dims %dx%d", f.CW(), f.CH())
+	}
+	if f.Bytes() != 64*32*3/2 {
+		t.Fatalf("Bytes = %d", f.Bytes())
+	}
+}
+
+func TestNewFramePanicsOnBadSize(t *testing.T) {
+	for _, c := range [][2]int{{0, 16}, {16, 0}, {-2, 4}, {3, 4}, {4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			NewFrame(c[0], c[1])
+		}()
+	}
+}
+
+func TestPlaneAccess(t *testing.T) {
+	f := NewFrame(16, 8)
+	for _, pl := range Planes {
+		data, w, h := f.Plane(pl)
+		ew, eh := PlaneDims(pl, 16, 8)
+		if w != ew || h != eh || len(data) != w*h {
+			t.Errorf("plane %v: got %dx%d len %d", pl, w, h, len(data))
+		}
+	}
+	if PlaneY.String() != "Y" || PlaneU.String() != "U" || PlaneV.String() != "V" {
+		t.Errorf("plane names wrong")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := NewGenerator(32, 16, 1)
+	f := g.Next()
+	c := f.Clone()
+	if !f.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Y[5]++
+	if f.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if f.Equal(NewFrame(16, 16)) {
+		t.Fatal("different sizes reported equal")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := NewGenerator(32, 16, 2).Next()
+	dst := NewFrame(32, 16)
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("copy differs")
+	}
+	if err := dst.CopyFrom(NewFrame(16, 16)); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+func TestFill(t *testing.T) {
+	f := NewFrame(16, 16)
+	f.Fill(10, 20, 30)
+	if f.Y[100] != 10 || f.U[10] != 20 || f.V[10] != 30 {
+		t.Fatal("fill wrong")
+	}
+}
+
+func TestSliceRowsPartition(t *testing.T) {
+	// Every partition must cover [0,h) exactly, in order, with sizes
+	// differing by at most one.
+	for _, h := range []int{1, 7, 8, 45, 576, 720} {
+		for n := 1; n <= 16 && n <= h; n++ {
+			prev := 0
+			minSz, maxSz := h, 0
+			for i := 0; i < n; i++ {
+				r0, r1 := SliceRows(h, i, n)
+				if r0 != prev {
+					t.Fatalf("h=%d n=%d i=%d: gap %d..%d", h, n, i, prev, r0)
+				}
+				if r1 <= r0 {
+					t.Fatalf("h=%d n=%d i=%d: empty slice", h, n, i)
+				}
+				sz := r1 - r0
+				if sz < minSz {
+					minSz = sz
+				}
+				if sz > maxSz {
+					maxSz = sz
+				}
+				prev = r1
+			}
+			if prev != h {
+				t.Fatalf("h=%d n=%d: covered %d rows", h, n, prev)
+			}
+			if maxSz-minSz > 1 {
+				t.Fatalf("h=%d n=%d: unbalanced %d..%d", h, n, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func TestSliceRowsPanics(t *testing.T) {
+	for _, c := range [][3]int{{10, -1, 4}, {10, 4, 4}, {10, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SliceRows(%v) did not panic", c)
+				}
+			}()
+			SliceRows(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := GenerateSequence(64, 48, 5, 42)
+	b := GenerateSequence(64, 48, 5, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("frame %d differs between identical generators", i)
+		}
+	}
+	c := GenerateSequence(64, 48, 5, 43)
+	if a[0].Equal(c[0]) {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestGeneratorFramesDiffer(t *testing.T) {
+	frames := GenerateSequence(64, 48, 4, 1)
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Equal(frames[i-1]) {
+			t.Fatalf("frames %d and %d identical", i-1, i)
+		}
+	}
+}
+
+func TestGeneratorRenderMatchesNext(t *testing.T) {
+	g1 := NewGenerator(48, 32, 7)
+	var seq []*Frame
+	for i := 0; i < 3; i++ {
+		seq = append(seq, g1.Next())
+	}
+	g2 := NewGenerator(48, 32, 7)
+	for i := range seq {
+		f := NewFrame(48, 32)
+		g2.Render(f, i)
+		if !f.Equal(seq[i]) {
+			t.Fatalf("Render(%d) differs from Next sequence", i)
+		}
+	}
+	if g1.FrameIndex() != 3 {
+		t.Fatalf("FrameIndex = %d", g1.FrameIndex())
+	}
+}
+
+func TestYUVRoundTrip(t *testing.T) {
+	frames := GenerateSequence(32, 16, 3, 9)
+	var buf bytes.Buffer
+	if err := WriteYUVSequence(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 3*32*16*3/2 {
+		t.Fatalf("encoded size %d", buf.Len())
+	}
+	got, err := ReadYUVSequence(&buf, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d frames", len(got))
+	}
+	for i := range got {
+		if !got[i].Equal(frames[i]) {
+			t.Fatalf("frame %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadYUVTruncated(t *testing.T) {
+	f := NewGenerator(32, 16, 1).Next()
+	var buf bytes.Buffer
+	if err := WriteYUV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadYUV(bytes.NewReader(trunc), 32, 16); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := ReadYUV(bytes.NewReader(nil), 32, 16); err != io.EOF {
+		t.Fatalf("want EOF on empty stream, got %v", err)
+	}
+}
+
+func TestPSNRAndDiff(t *testing.T) {
+	f := NewGenerator(32, 16, 3).Next()
+	g := f.Clone()
+	if !math.IsInf(PSNR(f, g), 1) {
+		t.Fatal("identical frames should have infinite PSNR")
+	}
+	if MaxAbsDiff(f, g) != 0 {
+		t.Fatal("identical frames should have zero diff")
+	}
+	g.Y[0] += 10
+	if d := MaxAbsDiff(f, g); d != 10 {
+		t.Fatalf("MaxAbsDiff = %d, want 10", d)
+	}
+	p := PSNR(f, g)
+	if math.IsInf(p, 1) || p < 30 {
+		t.Fatalf("PSNR of tiny perturbation = %f", p)
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	f := NewGenerator(32, 16, 5).Next()
+	c1, c2 := Checksum(f), Checksum(f)
+	if c1 != c2 {
+		t.Fatal("checksum not stable")
+	}
+	g := f.Clone()
+	g.V[3] ^= 1
+	if Checksum(g) == c1 {
+		t.Fatal("checksum ignores V plane change")
+	}
+	seq := GenerateSequence(32, 16, 3, 5)
+	if SequenceChecksum(seq) == SequenceChecksum(seq[:2]) {
+		t.Fatal("sequence checksum ignores length")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(x uint8) bool {
+		n := int(x%31) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Intn(0) did not panic")
+			}
+		}()
+		r.Intn(0)
+	}()
+}
+
+func TestRNGByteCoverage(t *testing.T) {
+	// A quick sanity check that bytes are not obviously biased.
+	r := NewRNG(1)
+	var seen [256]bool
+	for i := 0; i < 20000; i++ {
+		seen[r.Byte()] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("byte value %d never produced", v)
+		}
+	}
+}

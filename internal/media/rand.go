@@ -1,0 +1,32 @@
+package media
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64). It is used instead of math/rand so that generated video
+// is stable across Go releases, which keeps golden test vectors and
+// experiment inputs reproducible forever.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("media: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Byte returns a pseudo-random byte.
+func (r *RNG) Byte() uint8 { return uint8(r.Uint64()) }

@@ -1,0 +1,77 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xspcl/internal/media"
+)
+
+// containerMagic starts every motion-JPEG container stream.
+var containerMagic = [4]byte{'X', 'M', 'J', '1'}
+
+// WriteContainer writes encoded frames to w as a simple length-prefixed
+// motion-JPEG container: magic, frame count, then (length, bytes) per
+// frame.
+func WriteContainer(w io.Writer, frames [][]byte) error {
+	if _, err := w.Write(containerMagic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frames)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadContainer reads all encoded frames from a container stream.
+func ReadContainer(r io.Reader) ([][]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mjpeg: container magic: %w", err)
+	}
+	if hdr != containerMagic {
+		return nil, fmt.Errorf("mjpeg: bad container magic %q", hdr[:])
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("mjpeg: container count: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	frames := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("mjpeg: frame %d length: %w", i, err)
+		}
+		sz := binary.BigEndian.Uint32(hdr[:])
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("mjpeg: frame %d data: %w", i, err)
+		}
+		frames = append(frames, buf)
+	}
+	return frames, nil
+}
+
+// EncodeSequence encodes a frame sequence at the given quality.
+func EncodeSequence(frames []*media.Frame, quality int) ([][]byte, error) {
+	out := make([][]byte, len(frames))
+	for i, f := range frames {
+		enc, err := Encode(f, quality)
+		if err != nil {
+			return nil, fmt.Errorf("mjpeg: frame %d: %w", i, err)
+		}
+		out[i] = enc
+	}
+	return out, nil
+}

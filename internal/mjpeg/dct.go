@@ -1,0 +1,113 @@
+// Package mjpeg implements a from-scratch baseline-JPEG-style intra
+// codec and a simple motion-JPEG container. It exists because the
+// paper's JPiP application decodes motion-JPEG video through separate
+// graph components ("JPEG decode" followed by per-plane "IDCT"
+// components, Figure 7), so the decoder must expose those stages
+// individually: entropy decoding produces dequantised coefficient
+// planes, and the IDCT stage converts coefficient rows to pixels and is
+// sliceable for data parallelism.
+//
+// The coding tools are real JPEG tools — 8×8 DCT, the Annex-K
+// quantisation tables with libjpeg-style quality scaling, zigzag
+// run-length coding and the Annex-K Huffman tables — but the bitstream
+// container is this package's own (no JFIF markers, no byte stuffing).
+package mjpeg
+
+import "math"
+
+// dctBits is the fixed-point fraction width of the DCT basis tables.
+// 12 bits keeps the two-pass transform exact enough for byte output
+// while staying fully deterministic across platforms.
+const dctBits = 12
+
+// cosBasis[u][x] = round(alpha(u) * cos((2x+1)·u·π/16) << dctBits),
+// the orthonormal 8-point DCT-II basis in fixed point.
+var cosBasis [8][8]int32
+
+func init() {
+	for u := 0; u < 8; u++ {
+		alpha := 0.5
+		if u == 0 {
+			alpha = math.Sqrt(1.0 / 8.0)
+		}
+		for x := 0; x < 8; x++ {
+			v := alpha * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			cosBasis[u][x] = int32(math.Round(v * (1 << dctBits)))
+		}
+	}
+}
+
+// FDCT8x8 computes the 8×8 forward DCT of a level-shifted block.
+// in holds 64 spatial samples (row-major, already shifted to be
+// centred on zero); out receives 64 frequency coefficients in natural
+// (row-major) order. in and out may alias.
+func FDCT8x8(out, in *[64]int32) {
+	var tmp [64]int64
+	// Rows: tmp[y][u] = Σx basis[u][x]·in[y][x]
+	for y := 0; y < 8; y++ {
+		row := in[y*8 : y*8+8]
+		for u := 0; u < 8; u++ {
+			var acc int64
+			b := &cosBasis[u]
+			for x := 0; x < 8; x++ {
+				acc += int64(b[x]) * int64(row[x])
+			}
+			tmp[y*8+u] = acc
+		}
+	}
+	// Columns: out[v][u] = (Σy basis[v][y]·tmp[y][u]) >> 2·dctBits
+	const round = 1 << (2*dctBits - 1)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var acc int64
+			b := &cosBasis[v]
+			for y := 0; y < 8; y++ {
+				acc += int64(b[y]) * tmp[y*8+u]
+			}
+			out[v*8+u] = int32((acc + round) >> (2 * dctBits))
+		}
+	}
+}
+
+// IDCT8x8 computes the 8×8 inverse DCT. in holds 64 coefficients in
+// natural order; out receives 64 level-shifted spatial samples. in and
+// out may alias.
+func IDCT8x8(out, in *[64]int32) {
+	var tmp [64]int64
+	// Columns: tmp[y][u] = Σv basis[v][y]·in[v][u]
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var acc int64
+			for v := 0; v < 8; v++ {
+				acc += int64(cosBasis[v][y]) * int64(in[v*8+u])
+			}
+			tmp[y*8+u] = acc
+		}
+	}
+	// Rows: out[y][x] = (Σu basis[u][x]·tmp[y][u]) >> 2·dctBits
+	const round = 1 << (2*dctBits - 1)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var acc int64
+			for u := 0; u < 8; u++ {
+				acc += int64(cosBasis[u][x]) * tmp[y*8+u]
+			}
+			out[y*8+x] = int32((acc + round) >> (2 * dctBits))
+		}
+	}
+}
+
+// IDCTOpsPerBlock is the arithmetic operation count charged by the cost
+// model for one 8×8 inverse transform: two separable passes of 8×8
+// multiply-accumulates plus the rounding shifts.
+const IDCTOpsPerBlock = 2*8*8*16 + 64
+
+// IDCTOps returns the operation count for inverse-transforming a plane
+// region of the given pixel count (which must cover whole blocks).
+func IDCTOps(pixels int) int64 {
+	return int64(pixels/64) * IDCTOpsPerBlock
+}
+
+// FDCTOps returns the operation count for forward-transforming pixels
+// samples; the forward transform has the same structure as the inverse.
+func FDCTOps(pixels int) int64 { return IDCTOps(pixels) }

@@ -1,0 +1,83 @@
+package mjpeg
+
+// Standard JPEG Annex-K quantisation tables, in natural (row-major)
+// order.
+var (
+	stdLumaQuant = [64]int32{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	stdChromaQuant = [64]int32{
+		17, 18, 24, 47, 99, 99, 99, 99,
+		18, 21, 26, 66, 99, 99, 99, 99,
+		24, 26, 56, 99, 99, 99, 99, 99,
+		47, 66, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+	}
+)
+
+// zigzag[i] is the natural-order index of the i-th coefficient in
+// zigzag scan order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// quantTable returns the quality-scaled quantisation table for a plane.
+// luma selects the luminance table. quality follows the libjpeg
+// convention: 1 (worst) to 100 (best), with 50 giving the unscaled
+// Annex-K tables.
+func quantTable(luma bool, quality int) [64]int32 {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - quality*2)
+	}
+	base := &stdChromaQuant
+	if luma {
+		base = &stdLumaQuant
+	}
+	var q [64]int32
+	for i, v := range base {
+		s := (v*scale + 50) / 100
+		if s < 1 {
+			s = 1
+		}
+		if s > 255 {
+			s = 255
+		}
+		q[i] = s
+	}
+	return q
+}
+
+// quantize rounds coefficient v to the nearest multiple of q and
+// returns the quotient.
+func quantize(v, q int32) int32 {
+	if v >= 0 {
+		return (v + q/2) / q
+	}
+	return -((-v + q/2) / q)
+}

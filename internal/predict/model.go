@@ -1,0 +1,199 @@
+package predict
+
+import (
+	"fmt"
+	"strconv"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/kernels"
+	"xspcl/internal/media"
+	"xspcl/internal/mjpeg"
+)
+
+// DefaultModel estimates task costs for the standard component library
+// from the same operation-count formulas the components charge at run
+// time, plus a folded-in memory term (bytes moved × average line
+// latency) and the runtime's per-job overhead. It needs no execution:
+// everything derives from the XSPCL specification (class, parameters,
+// stream geometry, slice position), which is exactly what a front-end
+// has available when asking for parallelisation feedback.
+type DefaultModel struct {
+	params tileParams
+}
+
+// NewDefaultModel returns a model calibrated to the default tile.
+func NewDefaultModel() *DefaultModel {
+	return &DefaultModel{params: defaultTileParams()}
+}
+
+// streamDims finds the declared dimensions of the stream connected to a
+// port.
+func streamDims(prog *graph.Program, t *graph.Task, port string) (w, h int, err error) {
+	name, ok := t.Ports[port]
+	if !ok {
+		return 0, 0, fmt.Errorf("port %q not connected", port)
+	}
+	for _, s := range prog.Streams {
+		if s.Name == name {
+			return s.W, s.H, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("stream %q not declared", name)
+}
+
+func intParam(t *graph.Task, name string, def int) (int, error) {
+	v, ok := t.Params[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q not an integer", name, v)
+	}
+	return n, nil
+}
+
+func planeOf(t *graph.Task) media.PlaneID {
+	switch t.Params["plane"] {
+	case "U":
+		return media.PlaneU
+	case "V":
+		return media.PlaneV
+	}
+	return media.PlaneY
+}
+
+// memCycles folds a bytes-moved estimate into cycles.
+func (m *DefaultModel) memCycles(bytes int64) int64 {
+	return int64(float64(bytes) / 64 * m.params.lineCycles)
+}
+
+// TaskCycles implements CostModel.
+func (m *DefaultModel) TaskCycles(prog *graph.Program, t *graph.Task) (int64, error) {
+	if t.Role != graph.RoleComponent {
+		// Manager entry/exit: queue poll only.
+		return m.params.jobOverhead, nil
+	}
+	ops, bytes, err := m.componentCost(prog, t)
+	if err != nil {
+		return 0, err
+	}
+	return m.params.jobOverhead + ops + m.memCycles(bytes), nil
+}
+
+// componentCost returns (compute ops, bytes moved) for one component
+// task of one iteration.
+func (m *DefaultModel) componentCost(prog *graph.Program, t *graph.Task) (ops, bytes int64, err error) {
+	switch t.Class {
+	case "videosrc":
+		w, h, err := streamDims(prog, t, "out")
+		if err != nil {
+			return 0, 0, err
+		}
+		fb := int64(w*h) * 3 / 2
+		return kernels.CopyOps(int(fb)), 2 * fb, nil
+
+	case "mjpegsrc":
+		w, h, err := streamDims(prog, t, "out")
+		if err != nil {
+			return 0, 0, err
+		}
+		pk := int64(w*h) / 8 // ~1 bit/pixel compressed
+		return pk / 4, 2 * pk, nil
+
+	case "jpegdecode":
+		w, err1 := intParam(t, "width", 0)
+		h, err2 := intParam(t, "height", 0)
+		if err1 != nil || err2 != nil || w <= 0 || h <= 0 {
+			return 0, 0, fmt.Errorf("jpegdecode needs width/height")
+		}
+		coeff := int64(w*h) * 3 / 2 * 4
+		return mjpeg.EntropyOpsEstimate(w, h), int64(w*h)/8 + coeff, nil
+
+	case "copyplane", "blend", "downscale", "idct":
+		return m.planeOpCost(prog, t)
+
+	case "blurh", "blurv":
+		w, h, err := streamDims(prog, t, "in")
+		if err != nil {
+			return 0, 0, err
+		}
+		taps, err := intParam(t, "taps", 3)
+		if err != nil {
+			return 0, 0, err
+		}
+		r0, r1 := media.SliceRows(h, t.Slice, t.NSlices)
+		px := (r1 - r0) * w
+		c0, c1 := media.SliceRows(h/2, t.Slice, t.NSlices)
+		cpx := (c1 - c0) * (w / 2)
+		ops = kernels.BlurOps(px, taps) + 2*kernels.CopyOps(cpx)
+		return ops, int64(2*px + 4*cpx), nil
+
+	case "videosink":
+		w, h, err := streamDims(prog, t, "in")
+		if err != nil {
+			return 0, 0, err
+		}
+		fb := int64(w*h) * 3 / 2
+		return kernels.CopyOps(int(fb)), 2 * fb, nil
+
+	case "trigger":
+		return 16, 0, nil
+	}
+	return 0, 0, fmt.Errorf("no cost model for class %q", t.Class)
+}
+
+// planeOpCost handles the per-plane sliced operators.
+func (m *DefaultModel) planeOpCost(prog *graph.Program, t *graph.Task) (ops, bytes int64, err error) {
+	plane := planeOf(t)
+	switch t.Class {
+	case "copyplane":
+		w, h, err := streamDims(prog, t, "in")
+		if err != nil {
+			return 0, 0, err
+		}
+		pw, ph := media.PlaneDims(plane, w, h)
+		r0, r1 := media.SliceRows(ph, t.Slice, t.NSlices)
+		px := (r1 - r0) * pw
+		return kernels.CopyOps(px), int64(2 * px), nil
+
+	case "downscale":
+		w, h, err := streamDims(prog, t, "out")
+		if err != nil {
+			return 0, 0, err
+		}
+		factor, err := intParam(t, "factor", 0)
+		if err != nil || factor < 1 {
+			return 0, 0, fmt.Errorf("downscale needs factor")
+		}
+		pw, ph := media.PlaneDims(plane, w, h)
+		r0, r1 := media.SliceRows(ph, t.Slice, t.NSlices)
+		px := (r1 - r0) * pw
+		return kernels.DownscaleOps(px, factor), int64(px * (factor*factor + 1)), nil
+
+	case "blend":
+		w, h, err := streamDims(prog, t, "small")
+		if err != nil {
+			return 0, 0, err
+		}
+		alpha, err := intParam(t, "alpha", 256)
+		if err != nil {
+			return 0, 0, err
+		}
+		pw, ph := media.PlaneDims(plane, w, h)
+		r0, r1 := media.SliceRows(ph, t.Slice, t.NSlices)
+		px := (r1 - r0) * pw
+		return kernels.BlendOps(px, alpha), int64(2 * px), nil
+
+	case "idct":
+		w, h, err := streamDims(prog, t, "out")
+		if err != nil {
+			return 0, 0, err
+		}
+		pw, ph := media.PlaneDims(plane, w, h)
+		b0, b1 := media.SliceRows(ph/8, t.Slice, t.NSlices)
+		px := (b1 - b0) * 8 * pw
+		return mjpeg.IDCTOps(px), int64(5 * px), nil // 4B coeff in + 1B pixel out
+	}
+	return 0, 0, fmt.Errorf("planeOpCost: unexpected class %q", t.Class)
+}

@@ -1,0 +1,160 @@
+// Package predict implements the performance-prediction side of the
+// framework (the paper's Figure 1 routes the XSPCL specification into a
+// prediction tool — PAM-SoC — whose feedback guides parallelisation
+// decisions; "SPC allows efficient performance prediction").
+//
+// The prediction is analytic, not simulated: each task gets a cycle
+// estimate from a cost model, and the Series-Parallel Contention model
+// combines them. For one iteration executed on n cores the predicted
+// time is the classic Brent-style bound
+//
+//	T₁(n) = max(W/n, C)
+//
+// where W is the total work of the iteration's task DAG and C its
+// critical path. With pipelining across iterations (depth d), up to d
+// iterations overlap, so the steady-state time per iteration is
+//
+//	T(n) = max(W/n, C/d, maxTask)
+//
+// (an instance runs serially across iterations, so no iteration can
+// retire faster than the most expensive single task).
+package predict
+
+import (
+	"fmt"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/spacecake"
+)
+
+// CostModel estimates the cycles of one task of one iteration.
+type CostModel interface {
+	// TaskCycles returns the estimated execution cycles of t, given the
+	// program (for stream geometry lookups). Manager entry/exit tasks
+	// are passed too.
+	TaskCycles(prog *graph.Program, t *graph.Task) (int64, error)
+}
+
+// Point is the prediction for one node count.
+type Point struct {
+	Nodes   int
+	Cycles  int64   // predicted steady-state cycles per iteration
+	Speedup float64 // relative to the 1-node prediction
+}
+
+// Prediction is the analytic performance estimate for a program
+// configuration.
+type Prediction struct {
+	// Work is the total per-iteration work W (sum of task costs,
+	// including the runtime's per-job overhead).
+	Work int64
+	// CriticalPath is the per-iteration critical path C.
+	CriticalPath int64
+	// MaxTask is the most expensive single task.
+	MaxTask int64
+	// PipelineDepth used for the overlap bound.
+	PipelineDepth int
+	// PerNode holds the per-node-count predictions.
+	PerNode []Point
+}
+
+// Predict analyses the program under the given option states.
+func Predict(prog *graph.Program, enabled map[string]bool, model CostModel, maxNodes, pipelineDepth int) (*Prediction, error) {
+	if maxNodes < 1 {
+		return nil, fmt.Errorf("predict: maxNodes %d", maxNodes)
+	}
+	if pipelineDepth < 1 {
+		pipelineDepth = 1
+	}
+	plan, err := graph.BuildPlan(prog, enabled)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]int64, len(plan.Tasks))
+	for _, t := range plan.Tasks {
+		c, err := model.TaskCycles(prog, t)
+		if err != nil {
+			return nil, fmt.Errorf("predict: task %s: %w", t.Name, err)
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("predict: task %s: negative cost", t.Name)
+		}
+		costs[t.ID] = c
+	}
+	cost := func(t *graph.Task) int64 { return costs[t.ID] }
+	p := &Prediction{
+		Work:          plan.TotalWork(cost),
+		CriticalPath:  plan.CriticalPath(cost),
+		PipelineDepth: pipelineDepth,
+	}
+	for _, c := range costs {
+		if c > p.MaxTask {
+			p.MaxTask = c
+		}
+	}
+	for n := 1; n <= maxNodes; n++ {
+		t := (p.Work + int64(n) - 1) / int64(n) // ceil: keeps speedup ≤ n
+		if cp := p.CriticalPath / int64(pipelineDepth); cp > t {
+			t = cp
+		}
+		if p.MaxTask > t {
+			t = p.MaxTask
+		}
+		p.PerNode = append(p.PerNode, Point{Nodes: n, Cycles: t})
+	}
+	base := p.PerNode[0].Cycles
+	for i := range p.PerNode {
+		p.PerNode[i].Speedup = float64(base) / float64(p.PerNode[i].Cycles)
+	}
+	return p, nil
+}
+
+// MaxUsefulNodes returns the smallest node count achieving at least
+// frac (e.g. 0.95) of the asymptotic speedup — the feedback a front-end
+// would use to pick how much parallelism to configure.
+func (p *Prediction) MaxUsefulNodes(frac float64) int {
+	if len(p.PerNode) == 0 {
+		return 1
+	}
+	best := p.PerNode[len(p.PerNode)-1].Speedup
+	for _, pt := range p.PerNode {
+		if pt.Speedup >= frac*best {
+			return pt.Nodes
+		}
+	}
+	return p.PerNode[len(p.PerNode)-1].Nodes
+}
+
+// Efficiency returns predicted speedup(n)/n for the given node count.
+func (p *Prediction) Efficiency(nodes int) float64 {
+	for _, pt := range p.PerNode {
+		if pt.Nodes == nodes {
+			return pt.Speedup / float64(nodes)
+		}
+	}
+	return 0
+}
+
+// String renders the prediction compactly.
+func (p *Prediction) String() string {
+	s := fmt.Sprintf("work=%d critpath=%d maxtask=%d depth=%d\n", p.Work, p.CriticalPath, p.MaxTask, p.PipelineDepth)
+	for _, pt := range p.PerNode {
+		s += fmt.Sprintf("  n=%d cycles=%d speedup=%.2f\n", pt.Nodes, pt.Cycles, pt.Speedup)
+	}
+	return s
+}
+
+// tileParams carries the latency constants the default model folds into
+// its per-byte memory estimate.
+type tileParams struct {
+	jobOverhead int64
+	lineCycles  float64 // average cycles per 64-byte line moved
+}
+
+func defaultTileParams() tileParams {
+	cfg := spacecake.DefaultConfig(1)
+	// Streamed data mostly hits L2; charge the L2 latency plus a small
+	// DRAM fraction as the average per line.
+	avg := float64(cfg.L2HitCycles) + 0.2*float64(cfg.MemCycles)
+	return tileParams{jobOverhead: cfg.JobOverheadCycles, lineCycles: avg}
+}

@@ -1,0 +1,34 @@
+package spacecake
+
+import "testing"
+
+func BenchmarkAccessRegionResident(b *testing.B) {
+	tile := NewTile(DefaultConfig(1))
+	r := Region{Addr: 1 << 20, Bytes: 16 << 10}
+	tile.AccessRegion(0, r, false) // warm
+	b.SetBytes(int64(r.Bytes))
+	for i := 0; i < b.N; i++ {
+		tile.AccessRegion(0, r, false)
+	}
+}
+
+func BenchmarkAccessRegionThrashing(b *testing.B) {
+	tile := NewTile(DefaultConfig(1))
+	// Two regions larger than L2 together, alternated.
+	r1 := Region{Addr: 1 << 24, Bytes: 6 << 20}
+	r2 := Region{Addr: 1 << 25, Bytes: 6 << 20}
+	b.SetBytes(int64(r1.Bytes + r2.Bytes))
+	for i := 0; i < b.N; i++ {
+		tile.AccessRegion(0, r1, false)
+		tile.AccessRegion(0, r2, false)
+	}
+}
+
+func BenchmarkAccessStreamed(b *testing.B) {
+	tile := NewTile(DefaultConfig(1))
+	r := Region{Addr: 1 << 20, Bytes: 1 << 20}
+	b.SetBytes(int64(r.Bytes))
+	for i := 0; i < b.N; i++ {
+		tile.AccessStreamed(0, r)
+	}
+}

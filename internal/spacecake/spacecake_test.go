@@ -1,0 +1,308 @@
+package spacecake
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallTile(cores int) *Tile {
+	cfg := DefaultConfig(cores)
+	cfg.L1 = CacheConfig{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2}
+	cfg.L2 = CacheConfig{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4}
+	return NewTile(cfg)
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	for cores := 1; cores <= MaxCores; cores++ {
+		if err := DefaultConfig(cores).Validate(); err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		func() Config { c := DefaultConfig(1); c.Cores = 0; return c }(),
+		func() Config { c := DefaultConfig(1); c.Cores = 10; return c }(),
+		func() Config { c := DefaultConfig(1); c.L1.LineBytes = 48; return c }(),
+		func() Config { c := DefaultConfig(1); c.L1.Ways = 0; return c }(),
+		func() Config { c := DefaultConfig(1); c.L2.SizeBytes = -1; return c }(),
+		func() Config { c := DefaultConfig(1); c.MemCycles = -1; return c }(),
+		func() Config { c := DefaultConfig(1); c.L1.SizeBytes = 96 << 10; c.L1.Ways = 3; return c }(), // 512 sets ok... make sets non-pow2
+	}
+	// Ensure at least the obviously-bad ones fail.
+	for i, cfg := range bad[:6] {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	tile := smallTile(1)
+	r := Region{Addr: 1 << 20, Bytes: 64}
+	c1 := tile.AccessRegion(0, r, false)
+	if c1 != int64(tile.Config().MemCycles) {
+		t.Fatalf("cold access cost %d, want %d", c1, tile.Config().MemCycles)
+	}
+	c2 := tile.AccessRegion(0, r, false)
+	if c2 != 0 {
+		t.Fatalf("hot access cost %d, want 0", c2)
+	}
+	s := tile.Stats()
+	if s.L1Misses != 1 || s.L1Hits != 1 || s.L2Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestL2SharedAcrossCores(t *testing.T) {
+	tile := smallTile(2)
+	r := Region{Addr: 1 << 20, Bytes: 64}
+	tile.AccessRegion(0, r, false) // cold: DRAM
+	c := tile.AccessRegion(1, r, false)
+	if c != int64(tile.Config().L2HitCycles) {
+		t.Fatalf("cross-core access cost %d, want L2 hit %d", c, tile.Config().L2HitCycles)
+	}
+}
+
+func TestL1IsPrivate(t *testing.T) {
+	tile := smallTile(2)
+	r := Region{Addr: 4096, Bytes: 64}
+	tile.AccessRegion(0, r, false)
+	tile.AccessRegion(1, r, false)
+	s := tile.Stats()
+	if s.L1Hits != 0 || s.L1Misses != 2 {
+		t.Fatalf("expected two L1 misses, got %+v", s)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tile := smallTile(1)
+	// Touch 2x the L1 capacity, then re-touch the start: must miss L1.
+	big := Region{Addr: 1 << 16, Bytes: 2 << 10}
+	tile.AccessRegion(0, big, false)
+	tile.ResetStats()
+	tile.AccessRegion(0, Region{Addr: 1 << 16, Bytes: 64}, false)
+	s := tile.Stats()
+	if s.L1Misses != 1 {
+		t.Fatalf("expected L1 capacity miss, got %+v", s)
+	}
+	if s.L2Misses != 0 {
+		t.Fatalf("line should still be in 8K L2, got %+v", s)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// With 2-way sets, alternately touching three conflicting lines must
+	// evict the least recently used one.
+	cfg := DefaultConfig(1)
+	cfg.L1 = CacheConfig{SizeBytes: 128, LineBytes: 64, Ways: 2} // 1 set, 2 ways
+	cfg.L2 = CacheConfig{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4}
+	tile := NewTile(cfg)
+	a := Region{Addr: 0 << 6, Bytes: 64}
+	b := Region{Addr: 1 << 6, Bytes: 64}
+	c := Region{Addr: 2 << 6, Bytes: 64}
+	tile.AccessRegion(0, a, false) // set: [a]
+	tile.AccessRegion(0, b, false) // set: [b a]
+	tile.AccessRegion(0, a, false) // set: [a b] (hit)
+	tile.AccessRegion(0, c, false) // evicts b -> [c a]
+	tile.ResetStats()
+	tile.AccessRegion(0, a, false)
+	if tile.Stats().L1Hits != 1 {
+		t.Fatal("a should have survived (was MRU)")
+	}
+	tile.AccessRegion(0, b, false)
+	if tile.Stats().L1Misses != 1 {
+		t.Fatal("b should have been evicted (was LRU)")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tile := smallTile(1)
+	r := Region{Addr: 4096, Bytes: 64}
+	tile.AccessRegion(0, r, false)
+	tile.Flush()
+	tile.ResetStats()
+	tile.AccessRegion(0, r, false)
+	if tile.Stats().L2Misses != 1 {
+		t.Fatal("flush did not empty caches")
+	}
+}
+
+func TestRegionSpanningLines(t *testing.T) {
+	tile := smallTile(1)
+	// 100 bytes starting mid-line spans 3 lines when it straddles
+	// boundaries (e.g. addr 4090: lines 63,64 and byte 4189 is line 65).
+	tile.AccessRegion(0, Region{Addr: 4090, Bytes: 100}, true)
+	s := tile.Stats()
+	if got := s.L1Hits + s.L1Misses; got != 3 {
+		t.Fatalf("accessed %d lines, want 3", got)
+	}
+}
+
+func TestZeroAndNegativeRegions(t *testing.T) {
+	tile := smallTile(1)
+	if c := tile.AccessRegion(0, Region{Addr: 0, Bytes: 0}, false); c != 0 {
+		t.Fatal("empty region should cost nothing")
+	}
+	if c := tile.AccessRegion(0, Region{Addr: 0, Bytes: -5}, false); c != 0 {
+		t.Fatal("negative region should cost nothing")
+	}
+}
+
+func TestBadCorePanics(t *testing.T) {
+	tile := smallTile(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("core 5 on 1-core tile did not panic")
+		}
+	}()
+	tile.AccessRegion(5, Region{Addr: 0, Bytes: 64}, false)
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{L1Hits: 1, L1Misses: 2, L2Hits: 3, L2Misses: 4, MemCyclesTotal: 5}
+	b := a
+	a.Add(b)
+	if a.L1Hits != 2 || a.L2Misses != 8 || a.MemCyclesTotal != 10 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if (Stats{}).L1MissRate() != 0 {
+		t.Fatal("empty miss rate should be 0")
+	}
+	if r := (Stats{L1Hits: 3, L1Misses: 1}).L1MissRate(); r != 0.25 {
+		t.Fatalf("miss rate %f", r)
+	}
+}
+
+func TestAddressSpaceNonOverlapping(t *testing.T) {
+	as := NewAddressSpace()
+	var prev Region
+	for i := 0; i < 100; i++ {
+		r := as.Alloc(int64(i*7 + 1))
+		if r.Addr%64 != 0 {
+			t.Fatalf("allocation %d not line aligned: %#x", i, r.Addr)
+		}
+		if i > 0 && r.Addr < prev.Addr+uint64(prev.Bytes) {
+			t.Fatalf("allocation %d overlaps previous", i)
+		}
+		prev = r
+	}
+}
+
+func TestAddressSpaceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative alloc did not panic")
+		}
+	}()
+	NewAddressSpace().Alloc(-1)
+}
+
+func TestStreamingVsResidentWorkingSet(t *testing.T) {
+	// The mechanism behind Figure 8: re-reading a working set larger
+	// than L2 costs DRAM latency, while a small one stays cached.
+	tile := smallTile(1) // L2 = 8 KiB
+	small := Region{Addr: 1 << 20, Bytes: 4 << 10}
+	large := Region{Addr: 2 << 20, Bytes: 64 << 10}
+	tile.AccessRegion(0, small, true)
+	tile.AccessRegion(0, large, true)
+	tile.ResetStats()
+	cSmall := tile.AccessRegion(0, small, false)
+	_ = cSmall
+	tile.ResetStats()
+	cLargeAgain := tile.AccessRegion(0, large, false)
+	perLineLarge := float64(cLargeAgain) / float64(64<<10/64)
+	if perLineLarge < float64(tile.Config().MemCycles)*0.9 {
+		t.Fatalf("large working set should thrash to DRAM, %.1f cycles/line", perLineLarge)
+	}
+}
+
+func TestAccessDeterminism(t *testing.T) {
+	// Identical access sequences must produce identical stats.
+	run := func() Stats {
+		tile := smallTile(2)
+		rng := uint64(12345)
+		for i := 0; i < 2000; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			addr := rng % (1 << 16)
+			core := int(rng>>32) % 2
+			tile.AccessRegion(core, Region{Addr: addr, Bytes: 128}, i%3 == 0)
+		}
+		return tile.Stats()
+	}
+	if run() != run() {
+		t.Fatal("cache model not deterministic")
+	}
+}
+
+func TestCacheInclusionProperty(t *testing.T) {
+	// Property: immediately re-accessing any region costs zero
+	// (everything it touched is now L1-resident) as long as the region
+	// fits in L1.
+	tile := smallTile(1)
+	if err := quick.Check(func(addrSeed uint16, sz uint8) bool {
+		addr := uint64(addrSeed) << 6
+		bytes := int64(sz)%512 + 1
+		tile.AccessRegion(0, Region{Addr: addr, Bytes: bytes}, false)
+		return tile.AccessRegion(0, Region{Addr: addr, Bytes: bytes}, false) == 0
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessStreamedBandwidthOnly(t *testing.T) {
+	tile := smallTile(1)
+	r := Region{Addr: 1 << 20, Bytes: 640}
+	c := tile.AccessStreamed(0, r)
+	want := int64(10) * int64(tile.Config().StreamLineCycles)
+	if c != want {
+		t.Fatalf("streamed cost %d, want %d", c, want)
+	}
+	if tile.Stats().StreamedLines != 10 {
+		t.Fatalf("streamed lines %d", tile.Stats().StreamedLines)
+	}
+	// Streamed traffic must not touch the caches: a later cached access
+	// to the same lines is still cold.
+	tile.ResetStats()
+	tile.AccessRegion(0, Region{Addr: 1 << 20, Bytes: 64}, false)
+	if tile.Stats().L2Misses != 1 {
+		t.Fatal("streamed access polluted the cache")
+	}
+}
+
+func TestAccessStreamedUnalignedAndEmpty(t *testing.T) {
+	tile := smallTile(1)
+	if c := tile.AccessStreamed(0, Region{Addr: 0, Bytes: 0}); c != 0 {
+		t.Fatal("empty streamed region should be free")
+	}
+	// 100 bytes starting 10 bytes into a line spans 2 lines.
+	c := tile.AccessStreamed(0, Region{Addr: 10, Bytes: 100})
+	if c != 2*int64(tile.Config().StreamLineCycles) {
+		t.Fatalf("unaligned streamed cost %d", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad core accepted")
+		}
+	}()
+	tile.AccessStreamed(9, Region{Addr: 0, Bytes: 64})
+}
+
+func TestRegionSub(t *testing.T) {
+	r := Region{Addr: 1000, Bytes: 100}
+	s := r.Sub(10, 20)
+	if s.Addr != 1010 || s.Bytes != 20 {
+		t.Fatalf("sub %+v", s)
+	}
+	for _, c := range [][2]int64{{-1, 10}, {0, 101}, {90, 20}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sub(%d,%d) accepted", c[0], c[1])
+				}
+			}()
+			r.Sub(c[0], c[1])
+		}()
+	}
+}

@@ -1,0 +1,50 @@
+package xspcl
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(figure6)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(figure6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElaborate(b *testing.B) {
+	doc, err := ParseString(figure4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Elaborate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmitGo(b *testing.B) {
+	prog, err := Load(figure6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := EmitGo(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmitXML(b *testing.B) {
+	prog, err := Load(figure6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := EmitXML(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package xspcl
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"xspcl/internal/graph"
+)
+
+// TestEmittedCodeCompiles writes the generated glue code for a paper-
+// shaped specification into a throwaway command directory inside the
+// module and builds it with the Go toolchain — the end-to-end check
+// that xspclc's output is a working program.
+func TestEmittedCodeCompiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a generated program; skipped in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	prog := mustLoadT(t, figure6)
+	code, err := EmitGo(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The generated file imports internal packages, so it must live
+	// inside this module. Use a hidden throwaway directory at the repo
+	// root and clean it up.
+	_, thisFile, _, _ := runtime.Caller(0)
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile))) // internal/xspcl -> repo root
+	dir, err := os.MkdirTemp(root, ".gen-compile-check-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "gen.bin")
+	cmd := exec.Command(goTool, "build", "-o", out, "./"+filepath.Base(dir))
+	cmd.Dir = root
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("generated code does not compile: %v\n%s\n--- generated code ---\n%s", err, msg, code)
+	}
+}
+
+func mustLoadT(t *testing.T, src string) *graph.Program {
+	t.Helper()
+	p, err := Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,97 @@
+package xspcl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XSPCL document from r.
+func Parse(r io.Reader) (*Doc, error) {
+	d := xml.NewDecoder(r)
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xspcl: no <xspcl> root element")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			if start.Name.Local != "xspcl" {
+				return nil, fmt.Errorf("xspcl: root element is <%s>, want <xspcl>", start.Name.Local)
+			}
+			return parseRoot(d, start)
+		}
+	}
+}
+
+// ParseString parses an XSPCL document from a string.
+func ParseString(s string) (*Doc, error) { return Parse(strings.NewReader(s)) }
+
+func parseRoot(d *xml.Decoder, start xml.StartElement) (*Doc, error) {
+	doc := &Doc{Name: attr(start, "name")}
+	err := decodeChildren(d, start, func(dd *xml.Decoder, s xml.StartElement) error {
+		switch s.Name.Local {
+		case "streams":
+			return decodeChildren(dd, s, func(d2 *xml.Decoder, s2 xml.StartElement) error {
+				if s2.Name.Local != "stream" {
+					return fmt.Errorf("xspcl: unexpected <%s> in <streams>", s2.Name.Local)
+				}
+				var sd StreamDecl
+				if err := d2.DecodeElement(&sd, &s2); err != nil {
+					return err
+				}
+				doc.Streams = append(doc.Streams, sd)
+				return nil
+			})
+		case "queues":
+			return decodeChildren(dd, s, func(d2 *xml.Decoder, s2 xml.StartElement) error {
+				if s2.Name.Local != "queue" {
+					return fmt.Errorf("xspcl: unexpected <%s> in <queues>", s2.Name.Local)
+				}
+				doc.Queues = append(doc.Queues, attr(s2, "name"))
+				return d2.Skip()
+			})
+		case "procedure":
+			p := Procedure{Name: attr(s, "name")}
+			if err := decodeChildren(dd, s, func(d2 *xml.Decoder, s2 xml.StartElement) error {
+				switch s2.Name.Local {
+				case "param":
+					prm := Param{Name: attr(s2, "name")}
+					for _, a := range s2.Attr {
+						if a.Name.Local == "default" {
+							prm.Default = a.Value
+							prm.HasDefault = true
+						}
+					}
+					p.Params = append(p.Params, prm)
+					return d2.Skip()
+				case "body":
+					return p.Body.UnmarshalXML(d2, s2)
+				}
+				return fmt.Errorf("xspcl: unexpected <%s> in <procedure>", s2.Name.Local)
+			}); err != nil {
+				return err
+			}
+			doc.Procedures = append(doc.Procedures, p)
+			return nil
+		}
+		return fmt.Errorf("xspcl: unexpected <%s> in <xspcl>", s.Name.Local)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Procedure looks up a procedure by name.
+func (doc *Doc) Procedure(name string) (*Procedure, bool) {
+	for i := range doc.Procedures {
+		if doc.Procedures[i].Name == name {
+			return &doc.Procedures[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,171 @@
+// Package xspcl is the public API of the XSPCL reproduction: a
+// component-based coordination language and runtime for efficient
+// reconfigurable streaming applications (Nijhuis, Bos, Bal — ICPP
+// 2007).
+//
+// An application is a Series-Parallel graph of components connected by
+// streams, with asynchronous events and runtime-reconfigurable option
+// subgraphs. It can be written in the XSPCL XML dialect and loaded with
+// Load, or built programmatically with NewBuilder. Either way the
+// elaborated Program runs on the Hinch runtime via NewApp:
+//
+//	prog, err := xspcl.Load(spec)              // or NewBuilder(...)...
+//	app, err := xspcl.NewApp(prog, xspcl.DefaultRegistry(), xspcl.Config{
+//	    Backend: xspcl.BackendReal,
+//	    Cores:   4,
+//	})
+//	report, err := app.Run(96) // 96 iterations (frames)
+//
+// Two backends execute the job graph: BackendReal uses worker
+// goroutines on the host; BackendSim runs a deterministic discrete-
+// event simulation of the paper's SpaceCAKE MPSoC tile (up to nine
+// cores, private L1s, shared L2) and reports virtual cycles — the
+// backend all paper experiments use.
+//
+// Custom components implement the Component interface and are added to
+// a Registry; see the quickstart example.
+package xspcl
+
+import (
+	"io"
+	"os"
+
+	"xspcl/internal/components"
+	"xspcl/internal/graph"
+	"xspcl/internal/hinch"
+	"xspcl/internal/media"
+	xlang "xspcl/internal/xspcl"
+)
+
+// Core types re-exported from the runtime and graph layers.
+type (
+	// Program is an elaborated XSPCL application graph.
+	Program = graph.Program
+	// Builder constructs Programs programmatically.
+	Builder = graph.Builder
+	// Ports maps component port names to stream names.
+	Ports = graph.Ports
+	// Params maps initialization parameter names to values.
+	Params = graph.Params
+	// EventBinding maps an event to manager actions.
+	EventBinding = graph.EventBinding
+
+	// App is a loaded application bound to a backend.
+	App = hinch.App
+	// Config configures a run (backend, cores, pipeline depth).
+	Config = hinch.Config
+	// Report summarises a completed run.
+	Report = hinch.Report
+	// Registry maps component class names to implementations.
+	Registry = hinch.Registry
+	// ClassSpec declares a component class.
+	ClassSpec = hinch.ClassSpec
+	// Component is the interface application building blocks implement.
+	Component = hinch.Component
+	// Reconfigurable is the optional runtime-reconfiguration interface.
+	Reconfigurable = hinch.Reconfigurable
+	// InitContext configures a component instance.
+	InitContext = hinch.InitContext
+	// RunContext serves one iteration of a component.
+	RunContext = hinch.RunContext
+	// Event is the asynchronous communication primitive.
+	Event = hinch.Event
+	// EventQueue is a thread-safe event FIFO polled by managers.
+	EventQueue = hinch.EventQueue
+	// Packet is the element of a "packet" stream.
+	Packet = hinch.Packet
+)
+
+// Execution backends.
+const (
+	// BackendSim is the deterministic SpaceCAKE tile simulation.
+	BackendSim = hinch.BackendSim
+	// BackendReal executes on worker goroutines.
+	BackendReal = hinch.BackendReal
+)
+
+// Parallelism shapes for Builder.Parallel.
+const (
+	ShapeTask     = graph.ShapeTask
+	ShapeSlice    = graph.ShapeSlice
+	ShapeCrossdep = graph.ShapeCrossdep
+)
+
+// Manager event actions for On.
+const (
+	ActionEnable   = graph.ActionEnable
+	ActionDisable  = graph.ActionDisable
+	ActionToggle   = graph.ActionToggle
+	ActionForward  = graph.ActionForward
+	ActionReconfig = graph.ActionReconfig
+)
+
+// EOS is returned by source components at end of stream.
+var EOS = hinch.EOS
+
+// Load parses and elaborates an XSPCL XML specification.
+func Load(src string) (*Program, error) { return xlang.Load(src) }
+
+// LoadReader parses and elaborates a specification from r.
+func LoadReader(r io.Reader) (*Program, error) {
+	doc, err := xlang.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return xlang.Elaborate(doc)
+}
+
+// LoadFile parses and elaborates a specification file.
+func LoadFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadReader(f)
+}
+
+// EmitGo generates the Go glue code for an elaborated program (the
+// XSPCL→executable conversion path).
+func EmitGo(prog *Program) (string, error) { return xlang.EmitGo(prog) }
+
+// NewBuilder starts a programmatic application graph.
+func NewBuilder(name string) *Builder { return graph.NewBuilder(name) }
+
+// On builds a single-action event binding for Builder.Manager.
+func On(event string, kind graph.ActionKind, target string) EventBinding {
+	return graph.On(event, kind, target)
+}
+
+// NewRegistry returns an empty component registry.
+func NewRegistry() *Registry { return hinch.NewRegistry() }
+
+// DefaultRegistry returns a registry with the standard component
+// library (sources, per-plane operators, staged JPEG decode, blur
+// phases, sinks, trigger).
+func DefaultRegistry() *Registry { return components.DefaultRegistry() }
+
+// NewApp validates and loads a program onto the runtime.
+func NewApp(prog *Program, reg *Registry, cfg Config) (*App, error) {
+	return hinch.NewApp(prog, reg, cfg)
+}
+
+// Frame is a YUV 4:2:0 video frame, the element of "frame" streams.
+type Frame = media.Frame
+
+// NewFrame allocates a zeroed w×h frame.
+func NewFrame(w, h int) *Frame { return media.NewFrame(w, h) }
+
+// FrameOf extracts a frame payload from a port value.
+func FrameOf(v any) (*Frame, error) { return hinch.FrameOf(v, "port") }
+
+// PacketOf extracts a packet payload from a port value.
+func PacketOf(v any) (*Packet, error) { return hinch.PacketOf(v, "port") }
+
+// WriteYUV writes a frame in planar I420 order.
+func WriteYUV(w io.Writer, f *Frame) error { return media.WriteYUV(w, f) }
+
+// GenerateVideo renders n deterministic synthetic frames of size w×h.
+func GenerateVideo(w, h, n int, seed uint64) []*Frame {
+	return media.GenerateSequence(w, h, n, seed)
+}
