@@ -13,6 +13,8 @@
 //	-workless    skip real kernel computation (fast sweeps, same shapes)
 //	-verify      check XSPCL output against the sequential baselines (fig 8)
 //	-cache       also print per-frame L2 miss counts (the §4.1 profiling claim)
+//	-cpuprofile  write a pprof CPU profile of the sweep to a file
+//	-memprofile  write a pprof heap profile at exit
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 
 	"xspcl/internal/apps"
+	"xspcl/internal/profiling"
 )
 
 func main() {
@@ -29,7 +32,15 @@ func main() {
 	workless := flag.Bool("workless", false, "skip kernel computation, keep cost accounting")
 	verify := flag.Bool("verify", true, "verify XSPCL output against sequential baselines (figure 8)")
 	cache := flag.Bool("cache", false, "print per-frame cache miss detail (figure 8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	opt := apps.RunOptions{Workless: *workless, Verify: *verify && !*workless}
 	run := func(name string, f func() error) {
@@ -37,6 +48,7 @@ func main() {
 			return
 		}
 		if err := f(); err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -96,6 +108,11 @@ func main() {
 		}
 		return nil
 	})
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -6,7 +6,8 @@
 //
 // On the sim backend it reports virtual cycles on the simulated
 // SpaceCAKE tile; on the real backend it reports wall-clock time using
-// worker goroutines.
+// worker goroutines. The -cpuprofile and -memprofile flags write pprof
+// profiles of the run (most useful with -backend real).
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"xspcl/internal/apps"
 	"xspcl/internal/components"
 	"xspcl/internal/hinch"
+	"xspcl/internal/profiling"
 	"xspcl/internal/xspcl"
 )
 
@@ -27,24 +29,40 @@ func main() {
 	backend := flag.String("backend", "sim", "execution backend: sim or real")
 	builtin := flag.String("builtin", "", "run a built-in paper application (e.g. Blur-35)")
 	workless := flag.Bool("workless", false, "skip kernel computation (sim cost accounting only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	cfg := hinch.Config{Cores: *cores, PipelineDepth: *pipeline, Workless: *workless}
-	switch *backend {
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless); err != nil {
+		stop()
+		fail(err)
+	}
+	if err := stop(); err != nil {
+		fail(err)
+	}
+}
+
+func run(cores, frames, pipeline int, backend, builtin string, workless bool) error {
+	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless}
+	switch backend {
 	case "sim":
 		cfg.Backend = hinch.BackendSim
 	case "real":
 		cfg.Backend = hinch.BackendReal
 	default:
-		fail(fmt.Errorf("unknown backend %q", *backend))
+		return fmt.Errorf("unknown backend %q", backend)
 	}
 
 	var src string
-	iters := *frames
-	if *builtin != "" {
-		v, err := apps.VariantByName(*builtin)
+	iters := frames
+	if builtin != "" {
+		v, err := apps.VariantByName(builtin)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		src = v.XML
 		if iters == 0 {
@@ -52,28 +70,29 @@ func main() {
 		}
 	} else {
 		if flag.NArg() != 1 {
-			fail(fmt.Errorf("usage: xspclrun [flags] <spec.xml> (or -builtin <name>)"))
+			return fmt.Errorf("usage: xspclrun [flags] <spec.xml> (or -builtin <name>)")
 		}
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fail(err)
+			return err
 		}
 		src = string(data)
 	}
 
 	prog, err := xspcl.Load(src)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	app, err := hinch.NewApp(prog, components.DefaultRegistry(), cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rep, err := app.Run(iters)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Println(rep)
+	return nil
 }
 
 func fail(err error) {

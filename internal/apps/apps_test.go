@@ -101,6 +101,52 @@ func TestPiPOnRealBackend(t *testing.T) {
 	}
 }
 
+// TestRealBackend8WorkersMatchesSequential stress-tests the
+// work-stealing scheduler: all three paper applications on the real
+// backend with 8 workers must produce output frames bit-identical to
+// the hand-written sequential baselines. Run under -race in CI.
+func TestRealBackend8WorkersMatchesSequential(t *testing.T) {
+	type appCase struct {
+		name string
+		seq  func() (*SeqResult, error)
+		v    *Variant
+	}
+	pip := smallPiP(2)
+	pip.Frames = 16
+	jpip := smallJPiP(1)
+	jpip.Frames = 8
+	blur := smallBlur(5)
+	blur.Frames = 16
+	cases := []appCase{
+		{"PiP", func() (*SeqResult, error) { return SeqPiP(pip) }, NewPiPVariant("pip-ws", pip)},
+		{"JPiP", func() (*SeqResult, error) { return SeqJPiP(jpip) }, NewJPiPVariant("jpip-ws", jpip)},
+		{"Blur", func() (*SeqResult, error) { return SeqBlur(blur) }, NewBlurVariant("blur-ws", blur)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq, err := c.seq()
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := c.v.NewApp(hinch.Config{Backend: hinch.BackendReal, Cores: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := app.Run(c.v.Frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Iterations != c.v.Frames {
+				t.Fatalf("ran %d iterations, want %d", rep.Iterations, c.v.Frames)
+			}
+			sink := app.Component("snk").(interface{ Checksum() uint64 })
+			if sink.Checksum() != seq.Checksum {
+				t.Fatal("8-worker real backend output differs from sequential baseline")
+			}
+		})
+	}
+}
+
 func TestJPiPGraphStructure(t *testing.T) {
 	// The Figure-7 structure: MJPEG inputs, one decode per input,
 	// per-plane sliced IDCT / downscale / blend.

@@ -175,11 +175,13 @@ func (c *MJPEGSource) Run(rc *hinch.RunContext) error {
 	data := c.packets[n]
 	rc.SetOut("out", &hinch.Packet{Data: data})
 	rc.Charge(int64(len(data)) / 4) // file read + packetisation bookkeeping
-	var off int64
-	for i := 0; i < n; i++ {
-		off += int64(len(c.packets[i]))
+	if c.file.Bytes > 0 {
+		var off int64
+		for i := 0; i < n; i++ {
+			off += int64(len(c.packets[i]))
+		}
+		rc.AccessStreamed(c.file.Sub(off, int64(len(data))))
 	}
-	rc.AccessStreamed(c.file.Sub(off, int64(len(data))))
 	region := rc.PortRegion("out")
 	if region.Bytes > int64(len(data)) {
 		region = region.Sub(0, int64(len(data)))

@@ -3,6 +3,7 @@ package hinch
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xspcl/internal/graph"
 	"xspcl/internal/spacecake"
@@ -100,9 +101,11 @@ func (c Config) withDefaults() Config {
 
 // instance is one live component instance.
 type instance struct {
-	name string
-	comp Component
+	name  string
+	comp  Component
+	recon Reconfigurable // comp's reconfiguration interface, or nil
 
+	hasMail atomic.Bool // lock-free fast-path probe for an empty mailbox
 	mu      sync.Mutex
 	mailbox []string // pending reconfiguration requests
 }
@@ -111,15 +114,21 @@ type instance struct {
 func (in *instance) deliver(req string) {
 	in.mu.Lock()
 	in.mailbox = append(in.mailbox, req)
+	in.hasMail.Store(true)
 	in.mu.Unlock()
 }
 
-// takeMail drains pending requests.
+// takeMail drains pending requests. The atomic probe keeps the per-job
+// cost of an empty mailbox to one load.
 func (in *instance) takeMail() []string {
+	if !in.hasMail.Load() {
+		return nil
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	m := in.mailbox
 	in.mailbox = nil
+	in.hasMail.Store(false)
 	return m
 }
 
@@ -134,8 +143,12 @@ type App struct {
 	streams    map[string]*Stream
 	streamList []*Stream // declaration order, for deterministic allocation
 	queues     map[string]*EventQueue
-	instances  map[string]*instance
 	managers   map[string]*graph.Node
+
+	// instances is a copy-on-write map: reconfigurations (rare, under
+	// the engine lock) replace the whole map, so the per-job instance
+	// lookup on the hot path is a lock-free atomic load.
+	instances atomic.Pointer[map[string]*instance]
 
 	options     map[string]bool   // currently applied option states
 	optionOwner map[string]string // option name -> innermost enclosing manager
@@ -162,11 +175,12 @@ func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
 		cfg:         cfg,
 		streams:     map[string]*Stream{},
 		queues:      map[string]*EventQueue{},
-		instances:   map[string]*instance{},
 		managers:    map[string]*graph.Node{},
 		options:     prog.Options(),
 		optionOwner: optionOwners(prog),
 	}
+	initial := map[string]*instance{}
+	a.instances.Store(&initial)
 	if cfg.Backend == BackendSim {
 		a.addr = spacecake.NewAddressSpace()
 		tcfg := spacecake.DefaultConfig(cfg.Cores)
@@ -208,14 +222,20 @@ func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
 		return nil, err
 	}
 	a.plan = plan
+	// Build the initial instance table in place (storeInstance would
+	// copy the whole map once per component here).
 	for _, t := range plan.ComponentTasks() {
 		// Only instantiate components whose option is enabled; options
 		// create their components when they are switched on.
 		if t.Option != "" && !a.options[t.Option] {
 			continue
 		}
-		if err := a.createInstance(t); err != nil {
+		inst, err := a.newInstance(t)
+		if err != nil {
 			return nil, err
+		}
+		if inst != nil {
+			initial[t.Name] = inst
 		}
 	}
 	return a, nil
@@ -243,14 +263,62 @@ func optionOwners(prog *graph.Program) map[string]string {
 	return owners
 }
 
-// createInstance builds and initialises the component for a task.
+// instance returns the live instance for a task name, or nil. Lock-free.
+func (a *App) instance(name string) *instance {
+	return (*a.instances.Load())[name]
+}
+
+// storeInstance publishes a new instance table containing in. Callers
+// must serialise writers (NewApp is single-threaded; the engine writes
+// only under its lock).
+func (a *App) storeInstance(in *instance) {
+	old := *a.instances.Load()
+	m := make(map[string]*instance, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[in.name] = in
+	a.instances.Store(&m)
+}
+
+// removeInstance publishes a new instance table without name. Writers
+// must be serialised, as for storeInstance.
+func (a *App) removeInstance(name string) {
+	old := *a.instances.Load()
+	if _, ok := old[name]; !ok {
+		return
+	}
+	m := make(map[string]*instance, len(old))
+	for k, v := range old {
+		if k != name {
+			m[k] = v
+		}
+	}
+	a.instances.Store(&m)
+}
+
+// createInstance builds, initialises and publishes the component for a
+// task.
 func (a *App) createInstance(t *graph.Task) error {
-	if _, exists := a.instances[t.Name]; exists {
-		return nil
+	inst, err := a.newInstance(t)
+	if err != nil {
+		return err
+	}
+	if inst != nil {
+		a.storeInstance(inst)
+	}
+	return nil
+}
+
+// newInstance builds and initialises the component for a task without
+// publishing it; it returns nil when the instance already exists.
+func (a *App) newInstance(t *graph.Task) (*instance, error) {
+	if a.instance(t.Name) != nil {
+		return nil, nil
 	}
 	spec, err := a.reg.Lookup(t.Class)
 	if err != nil {
-		return fmt.Errorf("hinch: component %q: %w", t.Name, err)
+		return nil, fmt.Errorf("hinch: component %q: %w", t.Name, err)
 	}
 	comp := spec.New()
 	ic := &InitContext{
@@ -261,26 +329,26 @@ func (a *App) createInstance(t *graph.Task) error {
 		app:     a,
 	}
 	if err := comp.Init(ic); err != nil {
-		return fmt.Errorf("hinch: init %q: %w", t.Name, err)
+		return nil, fmt.Errorf("hinch: init %q: %w", t.Name, err)
 	}
 	inst := &instance{name: t.Name, comp: comp}
+	inst.recon, _ = comp.(Reconfigurable)
 	if req, ok := t.Params[graph.ReconfigParam]; ok {
 		// The <reconfig> tag: an initial reconfiguration request,
 		// applied before the instance's first Run.
-		if _, reconfigurable := comp.(Reconfigurable); !reconfigurable {
-			return fmt.Errorf("hinch: component %q has an initial reconfiguration request but class %q has no reconfiguration interface", t.Name, t.Class)
+		if inst.recon == nil {
+			return nil, fmt.Errorf("hinch: component %q has an initial reconfiguration request but class %q has no reconfiguration interface", t.Name, t.Class)
 		}
 		inst.deliver(req)
 	}
-	a.instances[t.Name] = inst
-	return nil
+	return inst, nil
 }
 
 // Component returns a live component instance by name (e.g. to read a
 // sink's collected output after Run), or nil if absent.
 func (a *App) Component(name string) Component {
-	in, ok := a.instances[name]
-	if !ok {
+	in := a.instance(name)
+	if in == nil {
 		return nil
 	}
 	return in.comp

@@ -1,18 +1,17 @@
 // Package hinch is the run-time system of the reproduction: it executes
 // an elaborated XSPCL program (a graph.Program) in data-flow style with
-// a central job queue, automatic load balancing, pipeline parallelism
-// across iterations, streaming and event communication, and dynamic
-// reconfiguration through managers — the feature set of the paper's
-// Hinch runtime (Nijhuis et al., Euro-Par'06, used by the ICPP'07
-// paper).
+// automatic load balancing, pipeline parallelism across iterations,
+// streaming and event communication, and dynamic reconfiguration
+// through managers — the feature set of the paper's Hinch runtime
+// (Nijhuis et al., Euro-Par'06, used by the ICPP'07 paper).
 //
 // Two interchangeable backends execute the job graph:
 //
 //   - BackendSim: a deterministic discrete-event simulation on a
-//     spacecake.Tile with a virtual cycle clock. All paper experiments
-//     run on this backend.
-//   - BackendReal: a pool of worker goroutines draining the central
-//     job queue, measuring wall-clock time on the host.
+//     spacecake.Tile with a virtual cycle clock, dispatching from a
+//     central job queue. All paper experiments run on this backend.
+//   - BackendReal: a pool of worker goroutines with per-worker
+//     work-stealing deques, measuring wall-clock time on the host.
 //
 // Components always perform their real pixel/bitstream work unless
 // Config.Workless is set; cost accounting for the simulator happens
@@ -216,6 +215,19 @@ type RunContext struct {
 	sim      bool
 }
 
+// reset prepares rc for one job, keeping the accumulated slices'
+// capacity so a worker can reuse one RunContext across jobs without
+// reallocating.
+func (rc *RunContext) reset(app *App, task *graph.Task, iter int, sim bool) {
+	rc.app = app
+	rc.task = task
+	rc.iter = iter
+	rc.sim = sim
+	rc.compute = 0
+	rc.access = rc.access[:0]
+	rc.streamed = rc.streamed[:0]
+}
+
 // Iteration returns the iteration (frame) number being processed.
 func (rc *RunContext) Iteration() int { return rc.iter }
 
@@ -242,7 +254,10 @@ func (rc *RunContext) Out(port string) any {
 
 // SetOut replaces the payload at the named output port, for streams
 // whose elements are produced fresh each iteration (packets,
-// coefficient frames).
+// coefficient frames). Slice copies of one iteration run concurrently
+// on the real backend, so a data-parallel group must designate a single
+// writer (or fill disjoint regions of the pre-allocated Out buffer
+// instead).
 func (rc *RunContext) SetOut(port string, payload any) {
 	rc.slot(port).payload = payload
 }

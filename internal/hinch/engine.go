@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xspcl/internal/graph"
 )
@@ -16,24 +17,39 @@ type job struct {
 }
 
 // iterState tracks the progress of one in-flight iteration.
+//
+// The dependency-tracking fields (remaining, done, crossClaim, left) are
+// atomic so that the real backend's workers can retire jobs and release
+// dependents without the engine lock; the reconfiguration bookkeeping
+// (mgrOpts, optStarted) is only touched with e.mu held. The sim backend
+// is single-threaded, so the atomics are uncontended there and the
+// discrete-event schedule stays deterministic.
 type iterState struct {
+	iter      int
 	plan      *graph.Plan
-	remaining []int32 // unmet dependency count per task
-	done      []bool
-	left      int // tasks not yet completed
-	cancelled bool
-	acquired  bool // stream buffers assigned (lazily, at first dispatch)
+	remaining []atomic.Int32 // unmet dependency count per task
+	done      []atomic.Bool
+	// crossClaim arbitrates the cross-iteration release of each task:
+	// both the completion of the same task in the previous iteration and
+	// launch (when it observes that task already done, or no previous
+	// iteration at all) may try to satisfy the cross dependency; the CAS
+	// winner performs the release, so it happens exactly once even when
+	// launch races with a completing worker.
+	crossClaim []atomic.Bool
+	left       atomic.Int32 // tasks not yet completed
+	cancelled  atomic.Bool
+	acquired   atomic.Bool // stream buffers assigned (lazily, at first dispatch)
 
 	// mgrOpts[m] is the option-state snapshot taken when manager m's
 	// entry ran for this iteration; the iteration's option tasks are
 	// enabled or skipped according to it. A reconfiguration may still
 	// retro-apply to this iteration as long as none of the option's
-	// tasks have started (tracked in optStarted).
+	// tasks have started (tracked in optStarted). Guarded by e.mu.
 	mgrOpts map[string]map[string]bool
 
 	// optStarted[o] records that at least one task of option o was
 	// dispatched in this iteration, fixing the option's state for the
-	// rest of the iteration.
+	// rest of the iteration. Guarded by e.mu.
 	optStarted map[string]bool
 }
 
@@ -63,29 +79,44 @@ type reconfigResult struct {
 	parked []job
 }
 
-// engine implements the shared scheduling machinery: the central job
-// queue ("Hinch provides automatic load balancing using a central job
-// queue"), data-flow readiness tracking, pipeline parallelism across
-// iterations, and the manager reconfiguration protocol (§3.4: detect at
-// the subgraph entrance/exit, pre-create eagerly, halt the subgraph,
-// splice at quiescence, resume). The sim and real executors drive it.
+// engine implements the shared scheduling machinery: data-flow readiness
+// tracking, pipeline parallelism across iterations, and the manager
+// reconfiguration protocol (§3.4: detect at the subgraph entrance/exit,
+// pre-create eagerly, halt the subgraph, splice at quiescence, resume).
+//
+// Two executors drive it with different dispatch queues. The sim backend
+// keeps the paper's central job queue ("Hinch provides automatic load
+// balancing using a central job queue") as a deterministic priority heap.
+// The real backend distributes the queue over per-worker deques with
+// work stealing (see sched.go): completions release dependents onto the
+// completing worker's own deque, preserving producer→consumer cache
+// locality, and only the reconfiguration/retirement slow paths take the
+// engine lock.
 //
 // The engine executes one plan for the whole run: the superplan, built
 // with every option enabled. Tasks of currently-disabled options flow
 // through the dependency machinery as zero-cost no-ops, so enabling or
 // disabling an option never re-plans in-flight iterations — it only
 // changes the per-iteration snapshot taken at the manager entrance.
-//
-// All methods must be called with mu held on the real backend; the sim
-// backend is single-threaded, so the (uncontended) lock is cheap.
 type engine struct {
 	app *App
 
-	mu   sync.Mutex
-	cond *sync.Cond // real backend: signals ready-queue changes
+	// mu guards the slow-path state: launch/retire, the manager
+	// reconfiguration protocol, stream-buffer accounting and the
+	// per-iteration option maps. The job dependency fast path
+	// (complete/release) runs without it.
+	mu sync.Mutex
 
-	iters      map[int]*iterState
+	// ring holds the in-flight iterations, indexed by iteration number
+	// modulo len(ring). Slots are written under mu (launch/retire) and
+	// read lock-free by workers; the window is bounded by PipelineDepth,
+	// which is strictly smaller than the ring, so a live slot always
+	// belongs to the iteration it is probed for.
+	ring   []atomic.Pointer[iterState]
+	nIters int // live iterations; guarded by mu
+
 	nextLaunch int
+	retireNext int // oldest iteration not yet retired; guarded by mu
 	limit      int // iterations to run; -1 = until EOS
 	stopLaunch int // first iteration index invalidated by EOS; -1 = none
 	processed  int
@@ -96,15 +127,26 @@ type engine struct {
 
 	bufActive int   // iterations currently holding stream buffers
 	bufParked []job // jobs waiting for stream buffers (backpressure)
+	bufSpare  []job // retired bufParked backing array, reused on refill
 
-	ready    readyQueue // central job queue, oldest iteration first
+	ready    readyQueue // sim backend: central job queue, oldest iteration first
 	perClass map[string]*ClassStats
 	err      error
+
+	// free recycles iterState allocations between iterations (guarded
+	// by mu). Safe because retirement is strictly in-order: while any
+	// job of iteration k is mid-completion, retireNext <= k, so the
+	// states it touches (k and k+1) cannot have been recycled.
+	free []*iterState
+
+	simRC RunContext // the sim backend's reusable run context
+
+	ws *sched // real backend: work-stealing scheduler; nil on sim
 }
 
-// readyQueue is the central job queue. Jobs are handed out oldest
-// iteration first (ties broken by task ID): the runtime drives old
-// iterations to completion before touching new ones, so pipeline
+// readyQueue is the sim backend's central job queue. Jobs are handed out
+// oldest iteration first (ties broken by task ID): the runtime drives
+// old iterations to completion before touching new ones, so pipeline
 // parallelism only fills otherwise-idle cores instead of round-robining
 // across iterations — which both matches a data-flow runtime's natural
 // eagerness to retire work and preserves producer→consumer cache
@@ -131,7 +173,7 @@ func (q *readyQueue) Pop() any {
 func newEngine(a *App, limit int) *engine {
 	e := &engine{
 		app:        a,
-		iters:      map[int]*iterState{},
+		ring:       make([]atomic.Pointer[iterState], a.cfg.PipelineDepth+2),
 		limit:      limit,
 		stopLaunch: -1,
 		mgrs:       map[string]*mgrState{},
@@ -140,8 +182,32 @@ func newEngine(a *App, limit int) *engine {
 	for name := range a.managers {
 		e.mgrs[name] = &mgrState{lastEntered: -1}
 	}
-	e.cond = sync.NewCond(&e.mu)
 	return e
+}
+
+// iterAt returns the in-flight state of iteration k, or nil when k is
+// not (or no longer) in flight. Safe without mu: ring slots are atomic
+// pointers and each state is validated against the probed iteration.
+func (e *engine) iterAt(k int) *iterState {
+	if k < 0 {
+		return nil
+	}
+	st := e.ring[k%len(e.ring)].Load()
+	if st == nil || st.iter != k {
+		return nil
+	}
+	return st
+}
+
+// eachIter calls f for every in-flight iteration. Must be called with
+// mu held (iteration order is unspecified; callers must not depend on
+// it).
+func (e *engine) eachIter(f func(*iterState)) {
+	for i := range e.ring {
+		if st := e.ring[i].Load(); st != nil {
+			f(st)
+		}
+	}
 }
 
 // classKey maps a task to its per-class stats bucket.
@@ -166,12 +232,12 @@ func (e *engine) classStats(t *graph.Task) *ClassStats {
 // While any manager is halted for reconfiguration no new iterations are
 // admitted: "when the application is stopped for reconfiguration, the
 // amount of parallelism in the application drops until the application
-// is run sequentially" (§4.3).
+// is run sequentially" (§4.3). Must be called with mu held.
 func (e *engine) canLaunch() bool {
 	if e.err != nil {
 		return false
 	}
-	if len(e.iters) >= e.app.cfg.PipelineDepth {
+	if e.nIters >= e.app.cfg.PipelineDepth {
 		return false
 	}
 	for _, st := range e.mgrs {
@@ -191,55 +257,84 @@ func (e *engine) moreToLaunch() bool {
 	return e.limit < 0 || e.nextLaunch < e.limit
 }
 
-// finished reports whether the run is complete.
+// finished reports whether the run is complete. Must be called with mu
+// held on the real backend.
 func (e *engine) finished() bool {
-	return len(e.iters) == 0 && !e.moreToLaunch()
+	return e.nIters == 0 && !e.moreToLaunch()
 }
 
 // launch admits iterations into the pipeline while the window allows.
-func (e *engine) launch() {
+// Released jobs are queued via w (the acting worker; nil outside worker
+// context). Must be called with mu held.
+func (e *engine) launch(w *wsWorker) {
 	for e.canLaunch() {
 		k := e.nextLaunch
 		e.nextLaunch++
 		plan := e.app.plan
-		it := &iterState{
-			plan:      plan,
-			remaining: make([]int32, len(plan.Tasks)),
-			done:      make([]bool, len(plan.Tasks)),
-			left:      len(plan.Tasks),
-			mgrOpts:   map[string]map[string]bool{},
-		}
-		prev := e.iters[k-1]
-		for _, t := range plan.Tasks {
-			r := int32(len(t.Deps))
-			// Cross-iteration constraint: an instance must finish
-			// iteration k-1 before starting iteration k (components are
-			// stateful; stream buffers recycle). Only needed while the
-			// previous iteration is still in flight.
-			if prev != nil && !prev.done[t.ID] {
-				r++
+		n := len(plan.Tasks)
+		var it *iterState
+		if f := len(e.free); f > 0 {
+			it = e.free[f-1]
+			e.free = e.free[:f-1]
+			it.iter = k
+			it.plan = plan
+			for i := range it.done {
+				it.done[i].Store(false)
+				it.crossClaim[i].Store(false)
 			}
-			it.remaining[t.ID] = r
+			it.cancelled.Store(false)
+			it.acquired.Store(false)
+			clear(it.mgrOpts)
+			clear(it.optStarted)
+		} else {
+			it = &iterState{
+				iter:       k,
+				plan:       plan,
+				remaining:  make([]atomic.Int32, n),
+				done:       make([]atomic.Bool, n),
+				crossClaim: make([]atomic.Bool, n),
+			}
 		}
-		e.iters[k] = it
+		it.left.Store(int32(n))
 		for _, t := range plan.Tasks {
-			if it.remaining[t.ID] == 0 {
-				e.push(job{iter: k, task: t})
+			// Every task carries one cross-iteration dependency on top of
+			// its graph dependencies: an instance must finish iteration
+			// k-1 before starting iteration k (components are stateful;
+			// stream buffers recycle). It is satisfied through crossClaim,
+			// below or by the previous iteration's completions.
+			it.remaining[t.ID].Store(int32(len(t.Deps)) + 1)
+		}
+		slot := &e.ring[k%len(e.ring)]
+		if slot.Load() != nil {
+			panic(fmt.Sprintf("hinch: iteration ring slot %d still occupied at launch of %d", k%len(e.ring), k))
+		}
+		slot.Store(it)
+		e.nIters++
+		prev := e.iterAt(k - 1)
+		for _, t := range plan.Tasks {
+			if prev == nil || prev.done[t.ID].Load() {
+				if it.crossClaim[t.ID].CompareAndSwap(false, true) {
+					e.release(k, it, t.ID, w)
+				}
 			}
 		}
 	}
 }
 
-// push adds a job to the central queue.
-func (e *engine) push(j job) {
+// enqueue adds a ready job to the dispatch queue: the central heap on
+// the sim backend, or (via w, the worker that produced it) a
+// work-stealing deque on the real backend.
+func (e *engine) enqueue(w *wsWorker, j job) {
+	if e.ws != nil {
+		e.ws.push(w, j)
+		return
+	}
 	heap.Push(&e.ready, j)
-	if e.cond != nil {
-		e.cond.Signal()
-	}
 }
 
-// pop removes the highest-priority ready job (oldest iteration first).
-// ok is false when the queue is empty.
+// pop removes the highest-priority ready job (oldest iteration first)
+// from the sim backend's central queue. ok is false when the queue is
+// empty.
 func (e *engine) pop() (job, bool) {
 	if len(e.ready) == 0 {
 		return job{}, false
@@ -269,47 +364,93 @@ func (e *engine) shouldPark(j job) bool {
 // dependents in the same iteration and the same task in the next
 // iteration, finalises the iteration when all tasks are done, and
 // applies a pending reconfiguration when the halted manager's subgraph
-// just became quiescent. Must be called with mu held.
-func (e *engine) complete(j job) *reconfigResult {
-	it := e.iters[j.iter]
-	if it == nil || it.done[j.task.ID] {
+// just became quiescent. The dependency fast path is lock-free; the
+// manager and retirement slow paths take mu internally, so complete
+// must be called WITHOUT mu held. A non-nil error (a failed
+// reconfiguration splice) aborts the run and must be propagated by the
+// caller.
+func (e *engine) complete(j job, w *wsWorker) (*reconfigResult, error) {
+	it := e.iterAt(j.iter)
+	if it == nil || it.done[j.task.ID].Swap(true) {
 		panic(fmt.Sprintf("hinch: double completion of %s@%d", j.task.Name, j.iter))
 	}
-	it.done[j.task.ID] = true
-	it.left--
 	for _, succ := range it.plan.Succs[j.task.ID] {
-		e.release(j.iter, it, succ)
+		e.release(j.iter, it, succ, w)
 	}
-	if next := e.iters[j.iter+1]; next != nil {
-		e.release(j.iter+1, next, j.task.ID)
+	// Cross-iteration release: the done flag was published above, so if
+	// the next iteration is not visible yet, its launch will observe the
+	// flag and claim the release itself.
+	if next := e.iterAt(j.iter + 1); next != nil {
+		if next.crossClaim[j.task.ID].CompareAndSwap(false, true) {
+			e.release(j.iter+1, next, j.task.ID, w)
+		}
 	}
 	var res *reconfigResult
 	if j.task.Role == graph.RoleManagerExit {
+		var err error
+		e.mu.Lock()
 		if st := e.mgrs[j.task.Manager]; st != nil && st.phase == mgrHalted && j.iter == st.gateAfter {
-			res = e.applyReconfig(st)
+			res, err = e.applyReconfig(st)
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
 		}
 	}
-	if it.left == 0 {
-		delete(e.iters, j.iter)
-		if it.acquired {
-			e.bufActive--
-			for _, s := range e.app.streamList {
-				s.release(j.iter)
-			}
-			// Buffers freed: iterations waiting on the stream FIFO
-			// capacity can try again.
-			for _, pj := range e.bufParked {
-				e.push(pj)
-			}
-			e.bufParked = nil
-		}
-		if !it.cancelled {
-			e.processed++
-		}
-		e.checkResumes()
-		e.launch()
+	if it.left.Add(-1) == 0 {
+		e.mu.Lock()
+		e.retireSweep(w)
+		e.mu.Unlock()
 	}
-	return res
+	return res, nil
+}
+
+// retireSweep retires completed iterations strictly in iteration order,
+// starting from the oldest live one. Completion order is monotone
+// (iteration k's last task finishes after k-1's, via the cross
+// dependency), but on the real backend the workers' lock acquisitions
+// are not — retiring out of order would let the live-iteration span
+// outgrow the ring even though the live count stays bounded. The sweep
+// pins the window to [retireNext, nextLaunch), which the ring size
+// strictly covers. Must be called with mu held.
+func (e *engine) retireSweep(w *wsWorker) {
+	for {
+		it := e.iterAt(e.retireNext)
+		if it == nil || it.left.Load() != 0 {
+			return
+		}
+		e.retireNext++
+		e.retire(it, w)
+	}
+}
+
+// retire finalises a fully-completed iteration: frees its ring slot and
+// stream buffers, requeues backpressured jobs, and refills the pipeline.
+// Must be called with mu held, via retireSweep.
+func (e *engine) retire(it *iterState, w *wsWorker) {
+	e.ring[it.iter%len(e.ring)].Store(nil)
+	e.nIters--
+	if it.acquired.Load() {
+		e.bufActive--
+		for _, s := range e.app.streamList {
+			s.release(it.iter)
+		}
+		// Buffers freed: iterations waiting on the stream FIFO
+		// capacity can try again. The two backing arrays rotate so the
+		// backpressure churn does not allocate.
+		parked := e.bufParked
+		e.bufParked = e.bufSpare[:0]
+		for _, pj := range parked {
+			e.enqueue(w, pj)
+		}
+		e.bufSpare = parked[:0]
+	}
+	if !it.cancelled.Load() {
+		e.processed++
+	}
+	e.free = append(e.free, it)
+	e.checkResumes(w)
+	e.launch(w)
 }
 
 // checkResumes releases managers in the applied phase once every
@@ -317,52 +458,53 @@ func (e *engine) complete(j job) *reconfigResult {
 // drained ("the application is run sequentially", §4.3) and refills
 // from the parked iterations — the parallelism loss the paper's Figure
 // 10 measures. Must be called with mu held.
-func (e *engine) checkResumes() {
+func (e *engine) checkResumes(w *wsWorker) {
 	for _, st := range e.mgrs {
 		if st.phase != mgrApplied {
 			continue
 		}
 		drained := true
-		for k := range e.iters {
-			if k <= st.gateAfter {
+		e.eachIter(func(it *iterState) {
+			if it.iter <= st.gateAfter {
 				drained = false
-				break
 			}
-		}
+		})
 		if !drained {
 			continue
 		}
 		for _, pj := range st.parked {
-			e.push(pj)
+			e.enqueue(w, pj)
 		}
 		st.parked = nil
 		st.phase = mgrIdle
-		e.launch()
+		e.launch(w)
 	}
 }
 
-func (e *engine) release(iter int, it *iterState, taskID int) {
-	it.remaining[taskID]--
-	if it.remaining[taskID] == 0 {
-		e.push(job{iter: iter, task: it.plan.Tasks[taskID]})
+// release satisfies one dependency of a task and queues it once all its
+// dependencies are met. Lock-free; safe with or without mu held.
+func (e *engine) release(iter int, it *iterState, taskID int, w *wsWorker) {
+	n := it.remaining[taskID].Add(-1)
+	if n == 0 {
+		e.enqueue(w, job{iter: iter, task: it.plan.Tasks[taskID]})
 	}
-	if it.remaining[taskID] < 0 {
+	if n < 0 {
 		panic(fmt.Sprintf("hinch: negative dependency count for task %d@%d", taskID, iter))
 	}
 }
 
 // noteEOS records that the source hit end-of-stream in iteration k:
 // iteration k and everything after it is cancelled, and no further
-// iterations launch.
+// iterations launch. Must be called with mu held on the real backend.
 func (e *engine) noteEOS(k int) {
 	if e.stopLaunch < 0 || k < e.stopLaunch {
 		e.stopLaunch = k
 	}
-	for i, it := range e.iters {
-		if i >= k {
-			it.cancelled = true
+	e.eachIter(func(it *iterState) {
+		if it.iter >= k {
+			it.cancelled.Store(true)
 		}
-	}
+	})
 }
 
 // needsBuffers reports whether the job's iteration must wait for
@@ -370,8 +512,8 @@ func (e *engine) noteEOS(k int) {
 // If so, the job is parked and re-queued when an iteration retires.
 // Must be called with mu held.
 func (e *engine) needsBuffers(j job) bool {
-	it := e.iters[j.iter]
-	if it == nil || it.acquired {
+	it := e.iterAt(j.iter)
+	if it == nil || it.acquired.Load() {
 		return false
 	}
 	if e.bufActive < e.app.cfg.StreamCapacity {
@@ -387,11 +529,11 @@ func (e *engine) needsBuffers(j job) bool {
 // buffers to the next one whenever the scheduler keeps few iterations
 // in flight. Must be called with mu held.
 func (e *engine) ensureBuffers(iter int) {
-	it := e.iters[iter]
-	if it == nil || it.acquired {
+	it := e.iterAt(iter)
+	if it == nil || it.acquired.Load() {
 		return
 	}
-	it.acquired = true
+	it.acquired.Store(true)
 	e.bufActive++
 	for _, s := range e.app.streamList {
 		s.acquire(iter)
@@ -401,10 +543,10 @@ func (e *engine) ensureBuffers(iter int) {
 // skipExecution reports whether the job must run as a zero-cost no-op:
 // its iteration was cancelled by EOS, or it belongs to an option that
 // is disabled in this iteration's snapshot. Must be called with mu
-// held.
+// held (the option maps are lock-guarded).
 func (e *engine) skipExecution(j job) bool {
-	it := e.iters[j.iter]
-	if it == nil || it.cancelled {
+	it := e.iterAt(j.iter)
+	if it == nil || it.cancelled.Load() {
 		return true
 	}
 	if j.task.Option == "" {
@@ -473,7 +615,11 @@ func (e *engine) managerPoll(j job) (ops int64, err error) {
 		for k, v := range e.app.options {
 			snap[k] = v
 		}
-		e.iters[j.iter].mgrOpts[j.task.Manager] = snap
+		it := e.iterAt(j.iter)
+		if it.mgrOpts == nil {
+			it.mgrOpts = map[string]map[string]bool{}
+		}
+		it.mgrOpts[j.task.Manager] = snap
 	}
 	return ops, nil
 }
@@ -540,7 +686,7 @@ func (e *engine) applyAction(m *graph.Node, st *mgrState, j job, ev Event, act g
 			if !inScope(t, m.Name) {
 				continue
 			}
-			inst := e.app.instances[t.Name]
+			inst := e.app.instance(t.Name)
 			if inst == nil {
 				continue
 			}
@@ -570,7 +716,7 @@ func (e *engine) preCreateOption(option string) (int, error) {
 		if t.Option != option {
 			continue
 		}
-		if _, ok := e.app.instances[t.Name]; !ok {
+		if e.app.instance(t.Name) == nil {
 			if err := e.app.createInstance(t); err != nil {
 				return created, err
 			}
@@ -583,10 +729,12 @@ func (e *engine) preCreateOption(option string) (int, error) {
 // applyReconfig splices the pending option changes in at subgraph
 // quiescence: iterations up to gateAfter have fully left the manager's
 // subgraph and later iterations are parked at its entrance. It returns
-// the stall to charge and the parked jobs to resume. Must be called
-// with mu held.
-func (e *engine) applyReconfig(st *mgrState) *reconfigResult {
+// the stall to charge and the parked jobs to resume; a non-nil error
+// (component creation failed inside the quiescent window) must abort
+// the run. Must be called with mu held.
+func (e *engine) applyReconfig(st *mgrState) (*reconfigResult, error) {
 	nChanged, created := 0, 0
+	var firstErr error
 	for _, t := range e.app.plan.ComponentTasks() {
 		if t.Option == "" {
 			continue
@@ -598,15 +746,13 @@ func (e *engine) applyReconfig(st *mgrState) *reconfigResult {
 		nChanged++
 		if !want {
 			// "multiple components are destroyed and/or created"
-			delete(e.app.instances, t.Name)
-		} else if _, ok := e.app.instances[t.Name]; !ok {
+			e.app.removeInstance(t.Name)
+		} else if e.app.instance(t.Name) == nil {
 			// Pre-created at event detection unless LazyCreation (or an
 			// externally injected enable) deferred it to this quiescent
 			// window, where its cost becomes stall time.
 			if err := e.app.createInstance(t); err != nil {
-				if e.err == nil {
-					e.err = err
-				}
+				firstErr = err
 				break
 			}
 			created++
@@ -619,12 +765,12 @@ func (e *engine) applyReconfig(st *mgrState) *reconfigResult {
 		// started there — they reach the option region only after the
 		// splice, so they may run the new configuration.
 		owner := e.app.optionOwner[opt]
-		for _, it := range e.iters {
+		e.eachIter(func(it *iterState) {
 			snap := it.mgrOpts[owner]
 			if snap != nil && !it.optStarted[opt] {
 				snap[opt] = v
 			}
-		}
+		})
 	}
 	stall := e.app.cfg.ReconfigBaseCycles +
 		e.app.cfg.ReconfigPerTaskCycles*int64(nChanged) +
@@ -636,29 +782,28 @@ func (e *engine) applyReconfig(st *mgrState) *reconfigResult {
 	res := &reconfigResult{stall: stall}
 	st.pending = nil
 	st.phase = mgrApplied
-	return res
+	return res, firstErr
 }
 
-// executeComponent runs a component job and returns the run context for
-// cost extraction. It must be called WITHOUT mu held on the real
-// backend; inst must have been resolved under the lock.
-func (e *engine) executeComponent(j job, inst *instance, sim bool) (*RunContext, error) {
-	rc := &RunContext{app: e.app, task: j.task, iter: j.iter, sim: sim}
-	if r, ok := inst.comp.(Reconfigurable); ok {
+// executeComponent runs a component job in rc (reset in place, so a
+// worker reuses one context — and its accumulated-cost slices — across
+// jobs). It must be called WITHOUT mu held on the real backend.
+func (e *engine) executeComponent(rc *RunContext, j job, inst *instance, sim bool) error {
+	rc.reset(e.app, j.task, j.iter, sim)
+	if inst.recon != nil {
 		for _, req := range inst.takeMail() {
-			if err := r.Reconfigure(req); err != nil {
-				return rc, fmt.Errorf("hinch: reconfigure %q: %w", j.task.Name, err)
+			if err := inst.recon.Reconfigure(req); err != nil {
+				return fmt.Errorf("hinch: reconfigure %q: %w", j.task.Name, err)
 			}
 		}
 	}
-	err := inst.comp.Run(rc)
-	return rc, err
+	return inst.comp.Run(rc)
 }
 
-// resolveInstance fetches the component instance for a job. Must be
-// called with mu held on the real backend.
+// resolveInstance fetches the component instance for a job. Lock-free:
+// the instance table is copy-on-write.
 func (e *engine) resolveInstance(j job) (*instance, error) {
-	inst := e.app.instances[j.task.Name]
+	inst := e.app.instance(j.task.Name)
 	if inst == nil {
 		return nil, fmt.Errorf("hinch: no instance for task %q", j.task.Name)
 	}
@@ -666,7 +811,8 @@ func (e *engine) resolveInstance(j job) (*instance, error) {
 }
 
 // handleRunError classifies a component error: EOS cancels the tail of
-// the run; anything else aborts it. Must be called with mu held.
+// the run; anything else aborts it. Must be called with mu held on the
+// real backend.
 func (e *engine) handleRunError(j job, err error) {
 	if errors.Is(err, EOS) {
 		e.noteEOS(j.iter)

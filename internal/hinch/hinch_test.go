@@ -117,7 +117,11 @@ func (c *sliceMarker) Run(rc *RunContext) error {
 		return fmt.Errorf("sliceMarker: payload %T", rc.In("in"))
 	}
 	bm[c.slice] = c.n
-	rc.SetOut("out", bm)
+	// One designated writer forwards the payload; sibling slices of the
+	// same iteration run concurrently on the real backend (see SetOut).
+	if c.slice == 0 {
+		rc.SetOut("out", bm)
+	}
 	rc.Charge(10)
 	return nil
 }

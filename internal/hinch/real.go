@@ -1,36 +1,50 @@
 package hinch
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"xspcl/internal/graph"
 )
 
-// runReal drives the engine with a pool of worker goroutines sharing
-// the central job queue — the runtime's actual parallel execution mode,
-// used by the examples and concurrency tests. Virtual-cost accounting
-// is inert; Report.Wall carries the host elapsed time.
+// runReal drives the engine with a pool of worker goroutines over the
+// work-stealing dispatch layer (sched.go) — the runtime's actual
+// parallel execution mode, used by the examples and concurrency tests.
+// Virtual-cost accounting is inert; Report.Wall carries the host
+// elapsed time.
 func (e *engine) runReal() (*Report, error) {
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < e.app.cfg.Cores; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			e.worker()
-		}()
-	}
+	e.ws = newSched(e.app.cfg.Cores, len(e.app.plan.Tasks))
 
 	e.mu.Lock()
-	e.launch()
-	e.cond.Broadcast()
+	e.launch(nil)
 	e.mu.Unlock()
 
+	var wg sync.WaitGroup
+	for _, w := range e.ws.workers {
+		wg.Add(1)
+		go func(w *wsWorker) {
+			defer wg.Done()
+			e.runWorker(w)
+		}(w)
+	}
 	wg.Wait()
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Fold the per-worker metric shards into the engine totals.
+	for _, w := range e.ws.workers {
+		e.app.metrics.jobs.Add(w.jobs)
+		for _, t := range e.app.plan.Tasks {
+			cs := &w.stats[t.ID]
+			if cs.Jobs == 0 && cs.Ops == 0 && cs.MemCycles == 0 {
+				continue
+			}
+			dst := e.classStats(t)
+			dst.Jobs += cs.Jobs
+			dst.Ops += cs.Ops
+			dst.MemCycles += cs.MemCycles
+		}
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -39,85 +53,151 @@ func (e *engine) runReal() (*Report, error) {
 	return rep, nil
 }
 
-// worker pulls jobs from the central queue until the run finishes or
-// fails. Manager jobs mutate engine state and therefore run under the
-// engine lock; component jobs run unlocked (their mutual exclusion
-// comes from the dependency structure: one instance never has two jobs
-// in flight thanks to the cross-iteration constraint).
-func (e *engine) worker() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// runWorker is one worker goroutine's loop: pop from the local deque
+// (LIFO — cache-warm successors first), fall back to the global
+// overflow queue, then steal from a random victim; park when nothing is
+// runnable anywhere.
+func (e *engine) runWorker(w *wsWorker) {
+	s := e.ws
 	for {
-		for len(e.ready) == 0 && !e.finished() && e.err == nil {
-			e.cond.Wait()
-		}
-		if e.finished() || e.err != nil {
-			e.cond.Broadcast() // wake siblings so they can exit too
+		if s.done.Load() {
 			return
 		}
-		j, _ := e.pop()
-		if e.shouldPark(j) || e.needsBuffers(j) {
+		j, ok := w.dq.pop()
+		if !ok {
+			j, ok = s.global.steal()
+		}
+		if !ok {
+			j, ok = s.steal(w)
+		}
+		if !ok {
+			if s.inflight.Load() == 0 {
+				// Nothing queued, nothing executing: the run is over
+				// (or wedged — surfaced as an error, never a hang).
+				e.checkTermination()
+				continue
+			}
+			s.park(w)
 			continue
 		}
-		if e.skipExecution(j) {
-			e.finishJob(j)
-			continue
-		}
-		e.ensureBuffers(j.iter)
-		e.app.metrics.jobs.Add(1)
-		e.classStats(j.task).Jobs++
-
-		switch j.task.Role {
-		case graph.RoleManagerEntry, graph.RoleManagerExit:
-			if _, err := e.managerPoll(j); err != nil {
-				e.fail(err)
-				return
-			}
-			e.finishJob(j)
-
-		case graph.RoleComponent:
-			inst, err := e.resolveInstance(j)
-			if err != nil {
-				e.fail(err)
-				return
-			}
-			e.mu.Unlock()
-			_, runErr := e.executeComponent(j, inst, false)
-			e.mu.Lock()
-			if runErr != nil {
-				e.handleRunError(j, runErr)
-				if e.err != nil {
-					e.cond.Broadcast()
-					return
-				}
-			}
-			e.finishJob(j)
-		}
+		e.execReal(w, j)
+		s.inflight.Add(-1)
 	}
 }
 
-// finishJob retires a job; when its completion applied a
-// reconfiguration, the parked entry jobs resume immediately (the stall
-// is virtual time, inert on the real backend). Must be called with mu
-// held.
-func (e *engine) finishJob(j job) {
-	if res := e.complete(j); res != nil {
-		for _, pj := range res.parked {
-			e.push(pj)
+// checkTermination decides, under the engine lock, whether an observed
+// inflight==0 means completion or a stall, and stops the run either
+// way. inflight is stable at zero: it is only raised by executing jobs
+// (all releases of a job happen before its inflight decrement) and the
+// initial launch, so a worker that observes zero can trust it.
+func (e *engine) checkTermination() {
+	e.mu.Lock()
+	if e.ws.inflight.Load() == 0 && !e.ws.done.Load() {
+		if !e.finished() && e.err == nil {
+			e.err = fmt.Errorf("hinch: scheduler stalled with %d iterations in flight", e.nIters)
 		}
-	}
-	if e.err != nil {
-		e.fail(e.err)
+		e.mu.Unlock()
+		e.ws.finish()
 		return
 	}
-	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
-// fail records the first error and wakes all workers. Must be called
-// with mu held.
-func (e *engine) fail(err error) {
+// execReal runs one job. Component jobs of iterations that already hold
+// stream buffers take a lock-free fast path straight to execution;
+// manager jobs and first-dispatch/option/cancellation cases go through
+// the engine lock, mirroring the sim backend's dispatch checks
+// (shouldPark → needsBuffers → skipExecution → ensureBuffers).
+func (e *engine) execReal(w *wsWorker, j job) {
+	if j.task.Role != graph.RoleComponent {
+		e.mu.Lock()
+		if e.shouldPark(j) || e.needsBuffers(j) {
+			e.mu.Unlock()
+			return
+		}
+		if e.skipExecution(j) {
+			e.mu.Unlock()
+			e.finishReal(w, j)
+			return
+		}
+		e.ensureBuffers(j.iter)
+		w.jobs++
+		w.stats[j.task.ID].Jobs++
+		_, err := e.managerPoll(j)
+		e.mu.Unlock()
+		if err != nil {
+			e.failReal(err)
+			return
+		}
+		e.finishReal(w, j)
+		return
+	}
+
+	// Component job. A live job's iteration cannot retire under it (the
+	// iteration's left-count includes this job), so it is non-nil.
+	it := e.iterAt(j.iter)
+	if it == nil || !it.acquired.Load() || it.cancelled.Load() || j.task.Option != "" {
+		e.mu.Lock()
+		if e.needsBuffers(j) {
+			e.mu.Unlock()
+			return
+		}
+		if e.skipExecution(j) {
+			e.mu.Unlock()
+			e.finishReal(w, j)
+			return
+		}
+		e.ensureBuffers(j.iter)
+		e.mu.Unlock()
+	}
+
+	inst, err := e.resolveInstance(j)
+	if err != nil {
+		e.failReal(err)
+		return
+	}
+	w.jobs++
+	w.stats[j.task.ID].Jobs++
+	runErr := e.executeComponent(&w.rc, j, inst, false)
+	if runErr != nil {
+		e.mu.Lock()
+		e.handleRunError(j, runErr)
+		fatal := e.err
+		e.mu.Unlock()
+		if fatal != nil {
+			e.ws.finish()
+			return
+		}
+		// EOS: the tail of the run is cancelled, but this job still
+		// completes so the pipeline drains.
+	}
+	e.finishReal(w, j)
+}
+
+// finishReal retires a job through complete(). Errors surfacing from
+// completion (a failed reconfiguration splice) abort the run
+// explicitly; when a reconfiguration was applied, any resumed jobs are
+// queued immediately (the stall is virtual time, inert on the real
+// backend).
+func (e *engine) finishReal(w *wsWorker, j job) {
+	res, err := e.complete(j, w)
+	if err != nil {
+		e.failReal(err)
+		return
+	}
+	if res != nil {
+		for _, pj := range res.parked {
+			e.ws.push(w, pj)
+		}
+	}
+}
+
+// failReal records the first error and stops the run.
+func (e *engine) failReal(err error) {
+	e.mu.Lock()
 	if e.err == nil {
 		e.err = err
 	}
-	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.ws.finish()
 }

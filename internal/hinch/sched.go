@@ -1,0 +1,253 @@
+package hinch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the real backend's work-stealing dispatch layer.
+// Each worker owns a deque of ready jobs: the owner pushes and pops at
+// the tail (LIFO — the most recently released successor consumes data
+// its producer just wrote, so it is the cache-warm choice), while
+// thieves steal from the head (FIFO — the oldest work, most likely from
+// an earlier iteration the victim has moved past). Jobs released
+// outside any worker context (initial launch) go to a shared overflow
+// queue that workers drain alongside their deques.
+//
+// Idle workers park on a per-worker buffered channel after registering
+// on an idle list; producers wake exactly one parked worker per push
+// instead of broadcasting on a global condvar, which avoids the
+// thundering herd the seed scheduler suffered from.
+
+// wsDeque is a mutex-guarded deque of jobs. Contention is naturally
+// low: only the owner and occasional thieves touch it, and the critical
+// sections are a few instructions.
+type wsDeque struct {
+	mu   sync.Mutex
+	buf  []job
+	head int          // index of the oldest element in buf
+	size atomic.Int32 // approximate length, for cheap emptiness probes
+}
+
+func (d *wsDeque) push(j job) {
+	d.mu.Lock()
+	d.buf = append(d.buf, j)
+	d.size.Add(1)
+	d.mu.Unlock()
+}
+
+// pop removes the newest job (owner side, LIFO).
+func (d *wsDeque) pop() (job, bool) {
+	if d.size.Load() == 0 {
+		return job{}, false
+	}
+	d.mu.Lock()
+	if d.head == len(d.buf) {
+		d.mu.Unlock()
+		return job{}, false
+	}
+	n := len(d.buf) - 1
+	j := d.buf[n]
+	d.buf[n] = job{}
+	d.buf = d.buf[:n]
+	if d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	d.size.Add(-1)
+	d.mu.Unlock()
+	return j, true
+}
+
+// steal removes the oldest job (thief side, FIFO).
+func (d *wsDeque) steal() (job, bool) {
+	if d.size.Load() == 0 {
+		return job{}, false
+	}
+	d.mu.Lock()
+	if d.head == len(d.buf) {
+		d.mu.Unlock()
+		return job{}, false
+	}
+	j := d.buf[d.head]
+	d.buf[d.head] = job{}
+	d.head++
+	if d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	d.size.Add(-1)
+	d.mu.Unlock()
+	return j, true
+}
+
+// wsWorker is one worker goroutine's scheduler state plus its private
+// metrics shards (merged into the engine once, when the run stops,
+// instead of bouncing shared counters on every job).
+type wsWorker struct {
+	id   int
+	dq   wsDeque
+	park chan struct{} // buffered(1): a pending wake token
+	rng  uint64        // xorshift state for victim selection
+
+	jobs  int64
+	stats []ClassStats // per-task-ID shard, merged by class at run end
+	rc    RunContext   // reusable run context for this worker's jobs
+}
+
+// nextRand is a xorshift64 step — victim order only needs to be cheap
+// and spread out, not high quality.
+func (w *wsWorker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// sched is the shared work-stealing state of one real-backend run.
+type sched struct {
+	workers []*wsWorker
+	global  wsDeque // jobs released outside worker context
+
+	// inflight counts jobs that are queued or executing. It is
+	// incremented before a job becomes visible in any queue and
+	// decremented only after its execution (including all the releases
+	// it performs) has finished, so inflight==0 is a stable property:
+	// the run is either finished or stalled, and the observing worker
+	// triggers termination.
+	inflight atomic.Int64
+
+	idleMu sync.Mutex
+	idle   []*wsWorker
+	nidle  atomic.Int32
+	done   atomic.Bool
+}
+
+func newSched(n, nTasks int) *sched {
+	s := &sched{workers: make([]*wsWorker, n)}
+	for i := range s.workers {
+		s.workers[i] = &wsWorker{
+			id:    i,
+			park:  make(chan struct{}, 1),
+			rng:   uint64(i)*0x9e3779b97f4a7c15 + 1,
+			stats: make([]ClassStats, nTasks),
+		}
+		s.workers[i].dq.buf = make([]job, 0, 64)
+	}
+	return s
+}
+
+// push makes a job runnable. Jobs released by a worker land on its own
+// deque; others go to the global queue. A worker's first pending job
+// wakes nobody — the worker itself pops it as soon as it finishes the
+// job it is executing — so a plain pipeline (every completion releasing
+// exactly one successor) runs without any wake traffic at all.
+func (s *sched) push(w *wsWorker, j job) {
+	s.inflight.Add(1)
+	if w != nil {
+		w.dq.push(j)
+		if w.dq.size.Load() <= 1 {
+			return
+		}
+	} else {
+		s.global.push(j)
+	}
+	if s.nidle.Load() > 0 {
+		s.wakeOne()
+	}
+}
+
+// wakeOne unparks one idle worker, if any.
+func (s *sched) wakeOne() {
+	s.idleMu.Lock()
+	var w *wsWorker
+	if n := len(s.idle); n > 0 {
+		w = s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.nidle.Store(int32(len(s.idle)))
+	}
+	s.idleMu.Unlock()
+	if w != nil {
+		w.park <- struct{}{} // buffered; never blocks
+	}
+}
+
+// steal scans the other workers (starting at a pseudo-random victim)
+// and the global queue for work.
+func (s *sched) steal(w *wsWorker) (job, bool) {
+	n := len(s.workers)
+	start := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := s.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if j, ok := v.dq.steal(); ok {
+			return j, true
+		}
+	}
+	return s.global.steal()
+}
+
+// anyQueued reports whether any queue holds work (approximate; used
+// only to avoid parking with work visible).
+func (s *sched) anyQueued() bool {
+	if s.global.size.Load() > 0 {
+		return true
+	}
+	for _, w := range s.workers {
+		if w.dq.size.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks w until new work may be available or the run stops. The
+// re-check after registering on the idle list closes the missed-wakeup
+// window: a producer that saw nidle==0 before our registration must
+// have published its job before we scan the queues.
+func (s *sched) park(w *wsWorker) {
+	s.idleMu.Lock()
+	s.idle = append(s.idle, w)
+	s.nidle.Store(int32(len(s.idle)))
+	s.idleMu.Unlock()
+	if s.done.Load() || s.anyQueued() {
+		// Deregister; if someone already granted us a wake token,
+		// consume it instead.
+		s.idleMu.Lock()
+		removed := false
+		for i, x := range s.idle {
+			if x == w {
+				s.idle = append(s.idle[:i], s.idle[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		s.nidle.Store(int32(len(s.idle)))
+		s.idleMu.Unlock()
+		if !removed {
+			<-w.park
+		}
+		return
+	}
+	<-w.park
+}
+
+// finish stops the run: all parked workers are woken and the done flag
+// stops the rest at their next loop check.
+func (s *sched) finish() {
+	if s.done.Swap(true) {
+		return
+	}
+	s.idleMu.Lock()
+	idle := s.idle
+	s.idle = nil
+	s.nidle.Store(0)
+	s.idleMu.Unlock()
+	for _, w := range idle {
+		w.park <- struct{}{}
+	}
+}

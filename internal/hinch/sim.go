@@ -48,7 +48,7 @@ func (e *engine) runSim() (*Report, error) {
 	var clock, seq int64
 	var pending completionHeap
 
-	e.launch()
+	e.launch(nil)
 	for {
 		// Dispatch ready jobs onto idle cores in FIFO order, lowest core
 		// first (deterministic).
@@ -79,7 +79,7 @@ func (e *engine) runSim() (*Report, error) {
 			if e.finished() {
 				break
 			}
-			return nil, fmt.Errorf("hinch: scheduler stalled at cycle %d (%d iterations in flight)", clock, len(e.iters))
+			return nil, fmt.Errorf("hinch: scheduler stalled at cycle %d (%d iterations in flight)", clock, e.nIters)
 		}
 		c := heap.Pop(&pending).(completion)
 		clock = c.at
@@ -87,13 +87,17 @@ func (e *engine) runSim() (*Report, error) {
 			// A reconfiguration stall elapsed: the manager's subgraph
 			// resumes and the parked iterations may enter it.
 			for _, pj := range c.resume {
-				e.push(pj)
+				e.enqueue(nil, pj)
 			}
 			continue
 		}
 		idle[c.core] = true
 		nIdle++
-		if res := e.complete(c.j); res != nil {
+		res, err := e.complete(c.j, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
 			seq++
 			heap.Push(&pending, completion{at: clock + res.stall, seq: seq, core: -1, resume: res.parked})
 		}
@@ -138,7 +142,8 @@ func (e *engine) execJobSim(j job, core int) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		rc, err := e.executeComponent(j, inst, true)
+		rc := &e.simRC
+		err = e.executeComponent(rc, j, inst, true)
 		if err != nil {
 			e.handleRunError(j, err)
 			if e.err != nil {

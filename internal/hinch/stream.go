@@ -2,6 +2,7 @@ package hinch
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xspcl/internal/graph"
 	"xspcl/internal/media"
@@ -28,13 +29,36 @@ import (
 // element concurrently; "packet" and untyped streams carry whatever
 // payload the producer sets.
 type Stream struct {
-	name   string
-	decl   graph.StreamDecl
-	depth  int
-	addr   *spacecake.AddressSpace
-	pool   []*slot       // free buffers, most recently released last
-	active map[int]*slot // iteration -> buffer
-	allocd int
+	name  string
+	decl  graph.StreamDecl
+	depth int
+	addr  *spacecake.AddressSpace
+	pool  []*slot // free buffers, most recently released last
+
+	// active maps in-flight iterations to their buffers as a ring of
+	// atomic pointers indexed by iteration modulo len(active). The
+	// engine writes it under its lock (acquire/release); components
+	// read it lock-free mid-run via slotFor, so each entry carries its
+	// iteration for validation. The ring is larger than the FIFO
+	// capacity, so a live entry can never be overwritten by a
+	// neighbouring iteration.
+	active  []atomic.Pointer[streamSlot]
+	nactive int
+	allocd  int
+
+	// wrapFree recycles streamSlot wrappers (engine-lock guarded, like
+	// acquire/release). A recycled wrapper is never still referenced:
+	// release happens at iteration retirement, after every reader of
+	// that iteration has finished, and readers only probe their own
+	// iteration's ring entry.
+	wrapFree []*streamSlot
+}
+
+// streamSlot is one active-ring entry: the owning iteration plus its
+// buffer.
+type streamSlot struct {
+	iter int
+	sl   *slot
 }
 
 type slot struct {
@@ -66,7 +90,7 @@ func newStream(decl graph.StreamDecl, depth int, addr *spacecake.AddressSpace) (
 		decl:   decl,
 		depth:  depth,
 		addr:   addr,
-		active: map[int]*slot{},
+		active: make([]atomic.Pointer[streamSlot], depth+2),
 	}, nil
 }
 
@@ -104,12 +128,13 @@ func (s *Stream) newSlot() *slot {
 }
 
 // acquire assigns a buffer to iteration iter. The engine calls it at
-// iteration launch, under its lock.
+// first dispatch of the iteration, under its lock.
 func (s *Stream) acquire(iter int) {
-	if _, dup := s.active[iter]; dup {
+	p := &s.active[iter%len(s.active)]
+	if p.Load() != nil {
 		panic(fmt.Sprintf("hinch: stream %s: iteration %d acquired twice", s.name, iter))
 	}
-	if len(s.active) >= s.depth {
+	if s.nactive >= s.depth {
 		panic(fmt.Sprintf("hinch: stream %s: more than %d iterations in flight", s.name, s.depth))
 	}
 	var sl *slot
@@ -119,27 +144,40 @@ func (s *Stream) acquire(iter int) {
 	} else {
 		sl = s.newSlot()
 	}
-	s.active[iter] = sl
+	s.nactive++
+	var w *streamSlot
+	if n := len(s.wrapFree); n > 0 {
+		w = s.wrapFree[n-1]
+		s.wrapFree = s.wrapFree[:n-1]
+		w.iter, w.sl = iter, sl
+	} else {
+		w = &streamSlot{iter: iter, sl: sl}
+	}
+	p.Store(w)
 }
 
 // release returns iteration iter's buffer to the pool. The engine calls
-// it when the iteration retires.
+// it when the iteration retires, under its lock.
 func (s *Stream) release(iter int) {
-	sl, ok := s.active[iter]
-	if !ok {
+	p := &s.active[iter%len(s.active)]
+	e := p.Load()
+	if e == nil || e.iter != iter {
 		panic(fmt.Sprintf("hinch: stream %s: release of unknown iteration %d", s.name, iter))
 	}
-	delete(s.active, iter)
-	s.pool = append(s.pool, sl)
+	p.Store(nil)
+	s.nactive--
+	s.pool = append(s.pool, e.sl)
+	s.wrapFree = append(s.wrapFree, e)
 }
 
-// slotFor returns the buffer owned by iteration iter.
+// slotFor returns the buffer owned by iteration iter. Lock-free; called
+// by components mid-run.
 func (s *Stream) slotFor(iter int) *slot {
-	sl, ok := s.active[iter]
-	if !ok {
+	e := s.active[iter%len(s.active)].Load()
+	if e == nil || e.iter != iter {
 		panic(fmt.Sprintf("hinch: stream %s: iteration %d has no buffer", s.name, iter))
 	}
-	return sl
+	return e.sl
 }
 
 // Name returns the stream's declared name.

@@ -1,0 +1,205 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file pins the specialized fast paths (unrolled power-of-two
+// downscale, opaque blend copy, hoisted-row blur) to straightforward
+// generic implementations written independently below. Every fast path
+// must be bit-identical to its generic counterpart.
+
+// refDownscaleWindow is the generic windowed box downscale: per-sample
+// box sums with integer rounded division, no unrolling.
+func refDownscaleWindow(dst []uint8, dw, ox, oy, ow int, src []uint8, sw, factor, r0, r1 int) {
+	half := factor * factor / 2
+	div := factor * factor
+	for y := r0; y < r1; y++ {
+		for x := 0; x < ow; x++ {
+			sum := half
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sum += int(src[(y*factor+dy)*sw+x*factor+dx])
+				}
+			}
+			dst[(oy+y)*dw+ox+x] = uint8(sum / div)
+		}
+	}
+}
+
+// refBlend is the generic alpha blend, including the alpha==256 case as
+// a degenerate blend (inv==0 makes it an exact overwrite).
+func refBlend(dst []uint8, dw int, small []uint8, sw, ox, oy, alpha, r0, r1 int) {
+	inv := 256 - alpha
+	for y := r0; y < r1; y++ {
+		for x := 0; x < sw; x++ {
+			d := (oy+y)*dw + ox + x
+			dst[d] = uint8((int(small[y*sw+x])*alpha + int(dst[d])*inv + 128) >> 8)
+		}
+	}
+}
+
+// refBlurH / refBlurV are the per-sample clamped tap loops the
+// specialized paths replaced.
+func refBlurH(dst, src []uint8, w, taps, r0, r1 int) {
+	radius, kern, shift := blurKernel(taps)
+	for y := r0; y < r1; y++ {
+		for x := 0; x < w; x++ {
+			sum := 1 << (shift - 1)
+			for k := -radius; k <= radius; k++ {
+				sx := x + k
+				if sx < 0 {
+					sx = 0
+				} else if sx >= w {
+					sx = w - 1
+				}
+				sum += kern[k+radius] * int(src[y*w+sx])
+			}
+			dst[y*w+x] = uint8(sum >> shift)
+		}
+	}
+}
+
+func refBlurV(dst, src []uint8, w, h, taps, r0, r1 int) {
+	radius, kern, shift := blurKernel(taps)
+	for y := r0; y < r1; y++ {
+		for x := 0; x < w; x++ {
+			sum := 1 << (shift - 1)
+			for k := -radius; k <= radius; k++ {
+				sy := y + k
+				if sy < 0 {
+					sy = 0
+				} else if sy >= h {
+					sy = h - 1
+				}
+				sum += kern[k+radius] * int(src[sy*w+x])
+			}
+			dst[y*w+x] = uint8(sum >> shift)
+		}
+	}
+}
+
+func TestDownscaleWindowFastPathsMatchGeneric(t *testing.T) {
+	// Factors with fast paths (1, 2, 4, 8, 16) and without (3, 5),
+	// composited at both zero and non-zero window offsets.
+	for _, factor := range []int{1, 2, 3, 4, 5, 8, 16} {
+		for _, off := range []struct{ ox, oy int }{{0, 0}, {3, 2}} {
+			ow, oh := 24, 16
+			sw, sh := ow*factor, oh*factor
+			dw, dh := ow+off.ox+4, oh+off.oy+4
+			src := randomPlane(sw, sh, uint64(100*factor+off.ox))
+			got := randomPlane(dw, dh, 7)
+			want := append([]uint8(nil), got...)
+			DownscaleWindow(got, dw, off.ox, off.oy, ow, oh, src, sw, sh, factor, 0, oh)
+			refDownscaleWindow(want, dw, off.ox, off.oy, ow, src, sw, factor, 0, oh)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("factor %d offset (%d,%d): pixel %d: got %d want %d",
+						factor, off.ox, off.oy, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBlendPlaneFastPathMatchesGeneric(t *testing.T) {
+	// alpha==256 takes the copy fast path (whole-band when the window
+	// spans full rows); other alphas take the blend loop.
+	cases := []struct{ dw, dh, sw, sh, ox, oy, alpha int }{
+		{64, 48, 64, 12, 0, 8, 256}, // full-width opaque: single copy
+		{64, 48, 20, 12, 5, 8, 256}, // windowed opaque: per-row copies
+		{64, 48, 20, 12, 5, 8, 128},
+		{64, 48, 20, 12, 0, 0, 77},
+		{64, 48, 64, 48, 0, 0, 256},
+	}
+	for _, c := range cases {
+		small := randomPlane(c.sw, c.sh, uint64(c.alpha+c.ox))
+		got := randomPlane(c.dw, c.dh, 9)
+		want := append([]uint8(nil), got...)
+		BlendPlane(got, c.dw, c.dh, small, c.sw, c.sh, c.ox, c.oy, c.alpha, 0, c.sh)
+		refBlend(want, c.dw, small, c.sw, c.ox, c.oy, c.alpha, 0, c.sh)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: pixel %d: got %d want %d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlurFastPathsMatchGeneric(t *testing.T) {
+	// Widths below, at, and above the tap count exercise the tiny-row
+	// fallback, the all-border case and the unrolled interior; row
+	// sub-ranges exercise the slice-band entry points.
+	for _, taps := range []int{3, 5} {
+		for _, w := range []int{1, 2, 3, 4, 5, 6, 7, 33} {
+			for _, h := range []int{1, 2, 5, 12} {
+				src := randomPlane(w, h, uint64(taps*1000+w*10+h))
+				gotH := make([]uint8, w*h)
+				wantH := make([]uint8, w*h)
+				BlurHPlane(gotH, src, w, h, taps, 0, h)
+				refBlurH(wantH, src, w, taps, 0, h)
+				gotV := make([]uint8, w*h)
+				wantV := make([]uint8, w*h)
+				r0, r1 := 0, h
+				if h > 3 {
+					r0, r1 = 1, h-1 // band with halo rows on both sides
+				}
+				BlurVPlane(gotV, src, w, h, taps, r0, r1)
+				refBlurV(wantV, src, w, h, taps, r0, r1)
+				for i := range gotH {
+					if gotH[i] != wantH[i] {
+						t.Fatalf("blurH taps=%d w=%d h=%d: pixel %d: got %d want %d",
+							taps, w, h, i, gotH[i], wantH[i])
+					}
+					if gotV[i] != wantV[i] {
+						t.Fatalf("blurV taps=%d w=%d h=%d: pixel %d: got %d want %d",
+							taps, w, h, i, gotV[i], wantV[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDownscaleFactors(b *testing.B) {
+	for _, factor := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("f%d", factor), func(b *testing.B) {
+			sw, sh := 1280, 720
+			dw, dh := sw/factor, sh/factor
+			src := randomPlane(sw, sh, uint64(factor))
+			dst := make([]uint8, dw*dh)
+			b.SetBytes(int64(sw * sh))
+			for i := 0; i < b.N; i++ {
+				DownscalePlane(dst, dw, dh, src, sw, sh, factor, 0, dh)
+			}
+		})
+	}
+}
+
+func BenchmarkBlendPlaneAlpha(b *testing.B) {
+	dst := randomPlane(720, 576, 2)
+	small := randomPlane(180, 144, 3)
+	b.SetBytes(180 * 144)
+	for i := 0; i < b.N; i++ {
+		BlendPlane(dst, 720, 576, small, 180, 144, 16, 16, 128, 0, 144)
+	}
+}
+
+func BenchmarkBlurH3(b *testing.B) {
+	src := randomPlane(360, 288, 6)
+	dst := make([]uint8, 360*288)
+	b.SetBytes(360 * 288)
+	for i := 0; i < b.N; i++ {
+		BlurHPlane(dst, src, 360, 288, 3, 0, 288)
+	}
+}
+
+func BenchmarkBlurV3(b *testing.B) {
+	src := randomPlane(360, 288, 7)
+	dst := make([]uint8, 360*288)
+	b.SetBytes(360 * 288)
+	for i := 0; i < b.N; i++ {
+		BlurVPlane(dst, src, 360, 288, 3, 0, 288)
+	}
+}

@@ -38,6 +38,27 @@ func DownscaleWindow(dst []uint8, dw, ox, oy, ow, oh int, src []uint8, sw, sh, f
 	if ox < 0 || oy < 0 || (ox+ow) > dw || (oy+oh)*dw > len(dst) {
 		panic("kernels: downscale window out of bounds")
 	}
+	// The streaming applications only ever scale by small powers of two
+	// (PiP ×4, JPiP ×8, thumbnailing ×2/×16), so those factors get
+	// unrolled fast paths. Each produces bit-identical output to the
+	// generic loop below: the same rounded box average, with the /factor²
+	// division strength-reduced to a shift.
+	switch factor {
+	case 1:
+		for y := r0; y < r1; y++ {
+			copy(dst[(oy+y)*dw+ox:(oy+y)*dw+ox+ow], src[y*sw:y*sw+ow])
+		}
+		return
+	case 2:
+		downscaleWindow2(dst, dw, ox, oy, ow, src, sw, r0, r1)
+		return
+	case 4:
+		downscaleWindow4(dst, dw, ox, oy, ow, src, sw, r0, r1)
+		return
+	case 8, 16:
+		downscaleWindowPow2(dst, dw, ox, oy, ow, src, sw, factor, r0, r1)
+		return
+	}
 	half := factor * factor / 2
 	div := factor * factor
 	for y := r0; y < r1; y++ {
@@ -53,6 +74,72 @@ func DownscaleWindow(dst []uint8, dw, ox, oy, ow, oh int, src []uint8, sw, sh, f
 				}
 			}
 			drow[x] = uint8(sum / div)
+		}
+	}
+}
+
+// downscaleWindow2 is the factor-2 fast path: the 2×2 box sum fully
+// unrolled over two hoisted source rows.
+func downscaleWindow2(dst []uint8, dw, ox, oy, ow int, src []uint8, sw, r0, r1 int) {
+	for y := r0; y < r1; y++ {
+		s0 := src[2*y*sw : 2*y*sw+2*ow]
+		s1 := src[(2*y+1)*sw : (2*y+1)*sw+2*ow]
+		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+ow]
+		for x := range drow {
+			o := 2 * x
+			sum := 2 +
+				int(s0[o]) + int(s0[o+1]) +
+				int(s1[o]) + int(s1[o+1])
+			drow[x] = uint8(sum >> 2)
+		}
+	}
+}
+
+// downscaleWindow4 is the factor-4 fast path: the 4×4 box sum fully
+// unrolled over four hoisted source rows.
+func downscaleWindow4(dst []uint8, dw, ox, oy, ow int, src []uint8, sw, r0, r1 int) {
+	for y := r0; y < r1; y++ {
+		base := 4 * y * sw
+		s0 := src[base : base+4*ow]
+		s1 := src[base+sw : base+sw+4*ow]
+		s2 := src[base+2*sw : base+2*sw+4*ow]
+		s3 := src[base+3*sw : base+3*sw+4*ow]
+		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+ow]
+		for x := range drow {
+			o := 4 * x
+			sum := 8 +
+				int(s0[o]) + int(s0[o+1]) + int(s0[o+2]) + int(s0[o+3]) +
+				int(s1[o]) + int(s1[o+1]) + int(s1[o+2]) + int(s1[o+3]) +
+				int(s2[o]) + int(s2[o+1]) + int(s2[o+2]) + int(s2[o+3]) +
+				int(s3[o]) + int(s3[o+1]) + int(s3[o+2]) + int(s3[o+3])
+			drow[x] = uint8(sum >> 4)
+		}
+	}
+}
+
+// downscaleWindowPow2 handles the remaining power-of-two factors (8,
+// 16): per-box row slices with a 4-wide unrolled inner sum and a shift
+// in place of the division.
+func downscaleWindowPow2(dst []uint8, dw, ox, oy, ow int, src []uint8, sw, factor, r0, r1 int) {
+	div := factor * factor
+	half := div / 2
+	shift := uint(0)
+	for 1<<shift < div {
+		shift++
+	}
+	for y := r0; y < r1; y++ {
+		sy0 := y * factor
+		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+ow]
+		for x := range drow {
+			sx0 := x * factor
+			sum := half
+			for dy := 0; dy < factor; dy++ {
+				srow := src[(sy0+dy)*sw+sx0 : (sy0+dy)*sw+sx0+factor]
+				for dx := 0; dx+4 <= len(srow); dx += 4 {
+					sum += int(srow[dx]) + int(srow[dx+1]) + int(srow[dx+2]) + int(srow[dx+3])
+				}
+			}
+			drow[x] = uint8(sum >> shift)
 		}
 	}
 }
@@ -78,15 +165,23 @@ func BlendPlane(dst []uint8, dw, dh int, small []uint8, sw, sh, ox, oy, alpha, r
 	if alpha < 0 || alpha > 256 {
 		panic("kernels: blend alpha out of range")
 	}
+	if alpha == 256 {
+		// Opaque composite: a pure copy. When the window spans full
+		// destination rows the whole band collapses to one copy.
+		if ox == 0 && sw == dw {
+			copy(dst[(oy+r0)*dw:(oy+r1)*dw], small[r0*sw:r1*sw])
+			return
+		}
+		for y := r0; y < r1; y++ {
+			copy(dst[(oy+y)*dw+ox:(oy+y)*dw+ox+sw], small[y*sw:(y+1)*sw])
+		}
+		return
+	}
+	inv := 256 - alpha
 	for y := r0; y < r1; y++ {
 		srow := small[y*sw : (y+1)*sw]
 		drow := dst[(oy+y)*dw+ox : (oy+y)*dw+ox+sw]
-		if alpha == 256 {
-			copy(drow, srow)
-			continue
-		}
-		inv := 256 - alpha
-		for x := 0; x < sw; x++ {
+		for x := range drow {
 			drow[x] = uint8((int(srow[x])*alpha + int(drow[x])*inv + 128) >> 8)
 		}
 	}
@@ -121,48 +216,110 @@ var (
 
 // BlurHPlane applies the horizontal pass of a 3- or 5-tap Gaussian to
 // rows [r0, r1) of a w×h plane. taps must be 3 or 5. Borders clamp.
+//
+// The interior of each row runs a fully unrolled tap sum over the
+// hoisted row subslices (no per-sample clamping, no bounds checks);
+// only the radius-wide borders take the clamped generic path. Output is
+// bit-identical to the generic tap loop.
 func BlurHPlane(dst, src []uint8, w, h, taps, r0, r1 int) {
-	radius, kern, shift := blurKernel(taps)
-	for y := r0; y < r1; y++ {
-		srow := src[y*w : (y+1)*w]
-		drow := dst[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			sum := 1 << (shift - 1)
-			for k := -radius; k <= radius; k++ {
-				sx := x + k
-				if sx < 0 {
-					sx = 0
-				} else if sx >= w {
-					sx = w - 1
-				}
-				sum += kern[k+radius] * int(srow[sx])
-			}
-			drow[x] = uint8(sum >> shift)
+	switch taps {
+	case 3:
+		for y := r0; y < r1; y++ {
+			blurH3Row(dst[y*w:(y+1)*w], src[y*w:(y+1)*w])
 		}
+	case 5:
+		for y := r0; y < r1; y++ {
+			blurH5Row(dst[y*w:(y+1)*w], src[y*w:(y+1)*w])
+		}
+	default:
+		blurKernel(taps) // panics: invalid tap count
 	}
+}
+
+// blurHClamped computes columns [x0, x1) of one row with per-sample
+// border clamping — the generic path, used for row edges.
+func blurHClamped(drow, srow []uint8, x0, x1, radius int, kern []int, shift uint) {
+	w := len(srow)
+	for x := x0; x < x1; x++ {
+		sum := 1 << (shift - 1)
+		for k := -radius; k <= radius; k++ {
+			sx := x + k
+			if sx < 0 {
+				sx = 0
+			} else if sx >= w {
+				sx = w - 1
+			}
+			sum += kern[k+radius] * int(srow[sx])
+		}
+		drow[x] = uint8(sum >> shift)
+	}
+}
+
+func blurH3Row(drow, srow []uint8) {
+	w := len(srow)
+	if w < 3 {
+		blurHClamped(drow, srow, 0, w, 1, gauss3[:], 2)
+		return
+	}
+	drow[0] = uint8((3*int(srow[0]) + int(srow[1]) + 2) >> 2)
+	for x := 1; x < w-1; x++ {
+		drow[x] = uint8((int(srow[x-1]) + 2*int(srow[x]) + int(srow[x+1]) + 2) >> 2)
+	}
+	drow[w-1] = uint8((int(srow[w-2]) + 3*int(srow[w-1]) + 2) >> 2)
+}
+
+func blurH5Row(drow, srow []uint8) {
+	w := len(srow)
+	if w < 5 {
+		blurHClamped(drow, srow, 0, w, 2, gauss5[:], 4)
+		return
+	}
+	blurHClamped(drow, srow, 0, 2, 2, gauss5[:], 4)
+	for x := 2; x < w-2; x++ {
+		drow[x] = uint8((int(srow[x-2]) + 4*int(srow[x-1]) + 6*int(srow[x]) +
+			4*int(srow[x+1]) + int(srow[x+2]) + 8) >> 4)
+	}
+	blurHClamped(drow, srow, w-2, w, 2, gauss5[:], 4)
 }
 
 // BlurVPlane applies the vertical pass of a 3- or 5-tap Gaussian to rows
 // [r0, r1) of a w×h plane. It reads up to radius rows above r0 and below
 // r1 (clamped at the plane borders): the halo that gives the Blur
 // application its crossdep dependency structure.
+//
+// Each output row blends whole hoisted source rows (border clamping
+// reduces to clamping the row indices), so the inner loop is a straight
+// multiply-accumulate over parallel slices with no per-sample index
+// arithmetic. Output is bit-identical to the generic tap loop.
 func BlurVPlane(dst, src []uint8, w, h, taps, r0, r1 int) {
-	radius, kern, shift := blurKernel(taps)
-	for y := r0; y < r1; y++ {
-		drow := dst[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			sum := 1 << (shift - 1)
-			for k := -radius; k <= radius; k++ {
-				sy := y + k
-				if sy < 0 {
-					sy = 0
-				} else if sy >= h {
-					sy = h - 1
-				}
-				sum += kern[k+radius] * int(src[sy*w+x])
-			}
-			drow[x] = uint8(sum >> shift)
+	clampRow := func(y int) []uint8 {
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
 		}
+		return src[y*w : y*w+w]
+	}
+	switch taps {
+	case 3:
+		for y := r0; y < r1; y++ {
+			a, b, c := clampRow(y-1), clampRow(y), clampRow(y+1)
+			drow := dst[y*w : y*w+w]
+			for x := range drow {
+				drow[x] = uint8((int(a[x]) + 2*int(b[x]) + int(c[x]) + 2) >> 2)
+			}
+		}
+	case 5:
+		for y := r0; y < r1; y++ {
+			a, b, c, d, e := clampRow(y-2), clampRow(y-1), clampRow(y), clampRow(y+1), clampRow(y+2)
+			drow := dst[y*w : y*w+w]
+			for x := range drow {
+				drow[x] = uint8((int(a[x]) + 4*int(b[x]) + 6*int(c[x]) +
+					4*int(d[x]) + int(e[x]) + 8) >> 4)
+			}
+		}
+	default:
+		blurKernel(taps) // panics: invalid tap count
 	}
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# bench.sh — run the performance-tracking benchmark set and write the
+# results to BENCH_results.json at the repo root.
+#
+# Covered benchmarks:
+#   - Figure benches (root package): Fig8 sequential overhead, Fig9
+#     speedup, Fig10 reconfiguration — the paper's evaluation, on the
+#     deterministic sim backend.
+#   - Scheduler benches: BenchmarkSchedulerThroughput (root) and
+#     BenchmarkSimSchedule/BenchmarkRealSchedule (internal/hinch), run
+#     at -cpu 1,4,8 to show work-stealing scaling.
+#   - Kernel benches (internal/kernels): downscale / blend / blur fast
+#     paths.
+#
+# Usage:
+#   scripts/bench.sh                # default: benchtime 1s
+#   BENCHTIME=2s scripts/bench.sh   # longer runs for stabler numbers
+#
+# Output schema (BENCH_results.json):
+#   { "generated_by": ..., "go": ..., "benchtime": ...,
+#     "results": [ {"package": ..., "name": ..., "ns_per_op": ...,
+#                   "allocs_per_op": ..., "bytes_per_op": ...,
+#                   "mb_per_s": ...}, ... ] }
+# ns_per_op is always present; the other metrics appear when the
+# benchmark reports them.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_results.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run_bench() { # run_bench <package> <bench regex> [extra go test args...]
+  local pkg="$1" pat="$2"
+  shift 2
+  echo ">> go test $pkg -bench $pat $*" >&2
+  go test "$pkg" -run '^$' -bench "$pat" -benchtime "$BENCHTIME" "$@" 2>&1 |
+    awk -v pkg="$pkg" '/^Benchmark/ { print pkg "\t" $0 }' >>"$TMP"
+}
+
+run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig10Reconfiguration'
+run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
+run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
+run_bench ./internal/kernels/ '.' -benchmem
+
+# Fold the benchmark lines into JSON. Benchmark output fields arrive as
+# value/unit pairs after the iteration count, e.g.:
+#   pkg \t BenchmarkFoo-8  123  4567 ns/op  99 B/op  3 allocs/op
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+  printf "{\n  \"generated_by\": \"scripts/bench.sh\",\n"
+  "go version" | getline gv
+  printf "  \"go\": \"%s\",\n", gv
+  printf "  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+  n = 0
+}
+{
+  pkg = $1; name = $2
+  ns = ""; allocs = ""; bytes = ""; mbs = ""
+  for (i = 4; i < NF; i++) {
+    if ($(i + 1) == "ns/op") ns = $i
+    else if ($(i + 1) == "allocs/op") allocs = $i
+    else if ($(i + 1) == "B/op") bytes = $i
+    else if ($(i + 1) == "MB/s") mbs = $i
+  }
+  if (ns == "") next
+  if (n++) printf ",\n"
+  printf "    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", pkg, name, ns
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (mbs != "") printf ", \"mb_per_s\": %s", mbs
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$TMP" >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2
