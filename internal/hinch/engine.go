@@ -533,11 +533,14 @@ func (e *engine) ensureBuffers(iter int) {
 	if it == nil || it.acquired.Load() {
 		return
 	}
-	it.acquired.Store(true)
 	e.bufActive++
 	for _, s := range e.app.streamList {
 		s.acquire(iter)
 	}
+	// Publish last: execReal's lock-free fast path reads acquired without
+	// the engine lock, and the atomic store must make the slot pointers
+	// above visible to any reader that observes acquired==true.
+	it.acquired.Store(true)
 }
 
 // skipExecution reports whether the job must run as a zero-cost no-op:

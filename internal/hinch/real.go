@@ -54,9 +54,9 @@ func (e *engine) runReal() (*Report, error) {
 }
 
 // runWorker is one worker goroutine's loop: pop from the local deque
-// (LIFO — cache-warm successors first), fall back to the global
-// overflow queue, then steal from a random victim; park when nothing is
-// runnable anywhere.
+// (LIFO — cache-warm successors first), then steal from a random victim
+// or the global overflow queue (sched.steal covers both); park when
+// nothing is runnable anywhere.
 func (e *engine) runWorker(w *wsWorker) {
 	s := e.ws
 	for {
@@ -64,9 +64,6 @@ func (e *engine) runWorker(w *wsWorker) {
 			return
 		}
 		j, ok := w.dq.pop()
-		if !ok {
-			j, ok = s.global.steal()
-		}
 		if !ok {
 			j, ok = s.steal(w)
 		}
@@ -135,6 +132,11 @@ func (e *engine) execReal(w *wsWorker, j job) {
 
 	// Component job. A live job's iteration cannot retire under it (the
 	// iteration's left-count includes this job), so it is non-nil.
+	// The cancelled check below is racy by design: a concurrent noteEOS
+	// can cancel the iteration just after we load false, in which case
+	// the component runs redundantly but harmlessly — cancelled
+	// iterations' results are discarded at retirement, same as the
+	// seed's dispatch-then-execute window.
 	it := e.iterAt(j.iter)
 	if it == nil || !it.acquired.Load() || it.cancelled.Load() || j.task.Option != "" {
 		e.mu.Lock()
