@@ -1,0 +1,364 @@
+package conformance
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xspcl/internal/graph"
+	"xspcl/internal/hinch"
+	"xspcl/internal/xspcl"
+)
+
+// Options configures one conformance check.
+type Options struct {
+	// Workers lists the real-backend worker counts to run. Defaults to
+	// 1, 2, 4, 8.
+	Workers []int
+	// Perturb enables schedule exploration on the real backend:
+	// seed-derived yield/sleep points at scheduler boundaries and
+	// reseeded steal-victim order. The perturbation is a pure function
+	// of (seed, worker count), so a failing seed replays the same
+	// schedule pressure.
+	Perturb bool
+	// Logf, when set, receives progress lines (plug in t.Logf).
+	Logf func(format string, args ...any)
+}
+
+// Observation is everything externally visible about one run: how many
+// iterations were processed, the per-iteration sink hashes, and the
+// reconfiguration activity.
+type Observation struct {
+	Backend    string
+	Workers    int
+	Iterations int
+	Sink       []SinkRec
+	Reconfigs  int
+	Requests   []int // delivered request count per creconf instance
+}
+
+// canon renders the observation parts that must be identical across
+// deterministic runs (used to compare sim-vs-sim, including the run on
+// the emit→parse round-tripped program).
+func (o *Observation) canon() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iters=%d reconfigs=%d reqs=%v\n", o.Iterations, o.Reconfigs, o.Requests)
+	for _, r := range o.Sink {
+		fmt.Fprintf(&b, "%d:%016x\n", r.Iter, r.H)
+	}
+	return b.String()
+}
+
+// perturb implements hinch.TestHooks: a seed-derived schedule
+// perturbation. At every instrumented boundary it draws from a counter
+// hash and occasionally sleeps a few microseconds (stretching windows
+// between lock-free probes and their uses) or yields the goroutine
+// (inviting a concurrent worker into the window). Steal-victim
+// sequences are reseeded per worker so exploration visits victim
+// orders the default seeding never produces.
+type perturb struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+func (p *perturb) Yield(pt hinch.YieldPoint) {
+	c := p.ctr.Add(1)
+	x := mix(p.seed, c, uint64(pt))
+	if pt == hinch.YieldAcquire {
+		// Buffer acquisition runs once per (stream, iteration) — rare
+		// but high-leverage: any job of the same iteration dispatched
+		// while the acquire loop is parked here races the publication
+		// of the stream slots. Stretch it nearly every time.
+		if x%4 != 0 {
+			time.Sleep(time.Duration(1+x%20) * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+		return
+	}
+	switch {
+	case x%127 == 0:
+		time.Sleep(time.Duration(1+x%3) * time.Microsecond)
+	case x%11 == 0:
+		runtime.Gosched()
+	}
+}
+
+func (p *perturb) StealSeed(worker int) uint64 {
+	return mix(p.seed, uint64(worker)) | 1 // xorshift state must be non-zero
+}
+
+// Check generates the program for seed and runs the full differential
+// battery: emit→parse round-trip, sim determinism (original vs.
+// round-tripped program), sim vs. oracle, and real backend at each
+// worker count vs. oracle. Any divergence is returned as an error
+// prefixed with the seed, so CONFORMANCE_SEED=<n> replays it exactly.
+func Check(seed uint64, opt Options) error {
+	if len(opt.Workers) == 0 {
+		opt.Workers = []int{1, 2, 4, 8}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	g, err := Generate(seed)
+	if err != nil {
+		return err
+	}
+	logf("seed %d: iters=%d frames=%d depth=%d cap=%d cells=%d opts=%d trigs=%d multi=%v",
+		seed, g.Iters, g.Frames, g.Depth, g.StreamCap, g.NCells, len(g.Options), len(g.Triggers), g.MultiSource)
+
+	// Round-trip: the emitted XML must parse back to the same tree.
+	xml, err := xspcl.EmitXML(g.Prog)
+	if err != nil {
+		return fmt.Errorf("seed %d: emit: %w", seed, err)
+	}
+	prog2, err := xspcl.Load(xml)
+	if err != nil {
+		return fmt.Errorf("seed %d: reparse emitted XML: %w", seed, err)
+	}
+	if a, b := g.Prog.String(), prog2.String(); a != b {
+		return fmt.Errorf("seed %d: emit/parse round-trip changed the program:\n--- built ---\n%s\n--- reparsed ---\n%s", seed, a, b)
+	}
+
+	// Sim twice — once on the built program, once on the round-tripped
+	// one. The sim backend is deterministic, so the runs must agree on
+	// every observable, including event/reconfiguration order.
+	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil)
+	if err != nil {
+		return fmt.Errorf("seed %d: sim: %w", seed, err)
+	}
+	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil)
+	if err != nil {
+		return fmt.Errorf("seed %d: sim(round-tripped): %w", seed, err)
+	}
+	if a, b := sim.canon(), sim2.canon(); a != b {
+		return fmt.Errorf("seed %d: sim runs diverged between built and round-tripped program:\n--- built ---\n%s--- round-tripped ---\n%s", seed, a, b)
+	}
+	if err := verify(g, sim); err != nil {
+		return fmt.Errorf("seed %d: sim: %w", seed, err)
+	}
+
+	for _, w := range opt.Workers {
+		var hooks hinch.TestHooks
+		if opt.Perturb {
+			hooks = &perturb{seed: mix(seed, uint64(w))}
+		}
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks)
+		if err != nil {
+			return fmt.Errorf("seed %d: real/%dw: %w", seed, w, err)
+		}
+		if err := verify(g, real); err != nil {
+			return fmt.Errorf("seed %d: real/%dw: %w", seed, w, err)
+		}
+		logf("seed %d: real/%dw ok (%d sink records, %d reconfigs)", seed, w, len(real.Sink), real.Reconfigs)
+	}
+	return nil
+}
+
+// runOnce executes prog once on the given backend and collects the
+// observation. Every run gets a fresh registry: conformance component
+// instances hold per-run state.
+func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks) (obs *Observation, err error) {
+	defer func() {
+		// The runtime surfaces dependency violations as panics (e.g.
+		// Stream.slotFor on an unacquired iteration, or a nil-payload
+		// type assertion in a component that ran before its producer).
+		// Convert them into check failures so the harness reports the
+		// seed instead of crashing the fuzzer.
+		if r := recover(); r != nil {
+			obs, err = nil, fmt.Errorf("runtime panic: %v", r)
+		}
+	}()
+	name := "sim"
+	if backend == hinch.BackendReal {
+		name = "real"
+	}
+	app, err := hinch.NewApp(prog, Registry(), hinch.Config{
+		Backend:        backend,
+		Cores:          cores,
+		PipelineDepth:  g.Depth,
+		StreamCapacity: g.StreamCap,
+		Hooks:          hooks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := app.Run(g.Iters)
+	if err != nil {
+		return nil, err
+	}
+	snk, ok := app.Component(g.SinkName).(*csink)
+	if !ok {
+		return nil, fmt.Errorf("sink %q missing after run", g.SinkName)
+	}
+	obs = &Observation{
+		Backend:    name,
+		Workers:    cores,
+		Iterations: rep.Iterations,
+		Sink:       snk.records(),
+		Reconfigs:  rep.Reconfigs,
+	}
+	for _, rn := range g.Reconfs {
+		if c, ok := app.Component(rn).(*creconf); ok {
+			obs.Requests = append(obs.Requests, len(c.requests()))
+		}
+	}
+	return obs, nil
+}
+
+// verify judges one observation against the sequential oracle.
+//
+// The processed-iteration count and the sink-hash prefix [0, N) are
+// exact. Sink records at iterations >= N can appear on the real backend
+// through the documented benign EOS-cancellation race (a job observes
+// cancelled==false just before cancellation and runs redundantly); at
+// most one pipeline window of them is tolerated and their payload is
+// unspecified (cancelled upstream stages were skipped).
+//
+// For event-driven programs the hash at iteration i must be explained
+// by SOME joint option subset (option states are fixed within an
+// iteration by the manager's entry snapshot, but which iteration a
+// trigger's effect lands on is schedule-dependent). The subset sequence
+// must additionally be reachable: the minimal number of single-option
+// transitions from the declared defaults is bounded by how many trigger
+// events can have fired, counted over one pipeline window past the end
+// (a trigger on a post-EOS cancelled iteration can still retarget
+// earlier in-flight iterations).
+func verify(g *Gen, obs *Observation) error {
+	n := g.ExpectedIterations()
+	if obs.Iterations != n {
+		return fmt.Errorf("processed %d iterations, oracle expects %d", obs.Iterations, n)
+	}
+
+	seen := map[int]uint64{}
+	extras := 0
+	for _, r := range obs.Sink {
+		if _, dup := seen[r.Iter]; dup {
+			return fmt.Errorf("sink recorded iteration %d twice", r.Iter)
+		}
+		seen[r.Iter] = r.H
+		if r.Iter >= n {
+			extras++
+		}
+		if r.Iter < 0 {
+			return fmt.Errorf("sink recorded negative iteration %d", r.Iter)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := seen[i]; !ok {
+			return fmt.Errorf("sink missing iteration %d of %d", i, n)
+		}
+	}
+	maxExtra := 0
+	if obs.Backend == "real" {
+		maxExtra = g.Depth + 1
+	}
+	if extras > maxExtra {
+		return fmt.Errorf("sink recorded %d iterations beyond the run's %d (max %d tolerated on %s)", extras, n, maxExtra, obs.Backend)
+	}
+
+	horizon := n + g.Depth + 1
+	firings := g.MaxFirings(horizon)
+	if obs.Reconfigs > firings {
+		return fmt.Errorf("%d reconfigurations observed but at most %d trigger firings possible", obs.Reconfigs, firings)
+	}
+	if !g.HasEvents {
+		if obs.Reconfigs != 0 {
+			return fmt.Errorf("%d reconfigurations observed in an event-free program", obs.Reconfigs)
+		}
+		enabled := g.DefaultOptions()
+		for i := 0; i < n; i++ {
+			if want := g.Expected(i, enabled); seen[i] != want {
+				return fmt.Errorf("iteration %d: sink hash %016x, oracle %016x", i, seen[i], want)
+			}
+		}
+		return nil
+	}
+	return verifySubsets(g, seen, n, firings)
+}
+
+// verifySubsets checks event-driven runs: every iteration's hash must
+// match one of the <= 2^3 joint option subsets, and the cheapest
+// consistent subset schedule (counting single-option flips, starting
+// from the defaults) must not need more transitions than trigger
+// firings could have caused.
+func verifySubsets(g *Gen, seen map[int]uint64, n, firings int) error {
+	k := len(g.Options)
+	nsub := 1 << k
+	subsets := make([]map[string]bool, nsub)
+	for s := 0; s < nsub; s++ {
+		m := map[string]bool{}
+		for i, o := range g.Options {
+			m[o.Name] = s&(1<<i) != 0
+		}
+		subsets[s] = m
+	}
+	defaultBits := 0
+	for i, o := range g.Options {
+		if o.DefaultOn {
+			defaultBits |= 1 << i
+		}
+	}
+
+	match := make([]uint32, n) // bitmask over subsets explaining iteration i
+	for i := 0; i < n; i++ {
+		for s := 0; s < nsub; s++ {
+			if g.Expected(i, subsets[s]) == seen[i] {
+				match[i] |= 1 << s
+			}
+		}
+		if match[i] == 0 {
+			var tried []string
+			for s := 0; s < nsub; s++ {
+				tried = append(tried, fmt.Sprintf("%0*b:%016x", k, s, g.Expected(i, subsets[s])))
+			}
+			sort.Strings(tried)
+			return fmt.Errorf("iteration %d: sink hash %016x matches no option subset (oracle: %s)", i, seen[i], strings.Join(tried, " "))
+		}
+	}
+
+	// DP over subset states: cost[s] = minimal option flips to reach
+	// subset s at the current iteration, starting from the defaults.
+	const inf = int(^uint(0) >> 1)
+	cost := make([]int, nsub)
+	next := make([]int, nsub)
+	for s := range cost {
+		cost[s] = bits.OnesCount32(uint32(s ^ defaultBits))
+	}
+	for i := 0; i < n; i++ {
+		for s := range next {
+			next[s] = inf
+		}
+		for from := 0; from < nsub; from++ {
+			if cost[from] == inf {
+				continue
+			}
+			for to := 0; to < nsub; to++ {
+				if match[i]&(1<<to) == 0 {
+					continue
+				}
+				c := cost[from] + bits.OnesCount32(uint32(from^to))
+				if c < next[to] {
+					next[to] = c
+				}
+			}
+		}
+		cost, next = next, cost
+	}
+	best := inf
+	for _, c := range cost {
+		if c < best {
+			best = c
+		}
+	}
+	if best > firings {
+		return fmt.Errorf("explaining the sink hashes needs >= %d option transitions but at most %d trigger firings were possible", best, firings)
+	}
+	return nil
+}

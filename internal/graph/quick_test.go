@@ -195,3 +195,141 @@ func TestOptionSubsetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGeneratedProgramsHaveNoOrphanStreams: every random tree passes
+// catalog validation (all streams written and read), and declaring an
+// extra stream no component touches is always rejected.
+func TestGeneratedProgramsHaveNoOrphanStreams(t *testing.T) {
+	f := func(script []byte) bool {
+		prog := buildRandomProgram(script)
+		if err := prog.Validate(testCatalog); err != nil {
+			t.Logf("valid tree rejected: %v", err)
+			return false
+		}
+		// The same tree with an orphan stream must fail validation.
+		orphaned := buildRandomProgram(script)
+		orphaned.Streams = append(orphaned.Streams, StreamDecl{Name: "orphan"})
+		if err := orphaned.Validate(testCatalog); err == nil {
+			t.Logf("orphan stream accepted")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossdepEdgesMatchFigure5: for a crossdep group of B parblocks
+// replicated n times, the plan must contain exactly the paper's
+// Figure-5 edges — copy i of parblock b depends on copies i-1, i, i+1
+// of parblock b-1 (clipped to the group) and nothing else.
+func TestCrossdepEdgesMatchFigure5(t *testing.T) {
+	f := func(nbRaw, nRaw uint8) bool {
+		nb := int(nbRaw%3) + 2 // 2..4 parblocks
+		n := int(nRaw%4) + 1   // 1..4 copies
+		b := NewBuilder("xdep")
+		b.Stream("s")
+		blocks := make([]*Node, nb)
+		for bi := range blocks {
+			blocks[bi] = b.Component(fmt.Sprintf("blk%d", bi), "filter",
+				Ports{"in": "s", "out": "s"}, nil)
+		}
+		b.Body(
+			b.Component("src", "src", Ports{"out": "s"}, nil),
+			b.Parallel(ShapeCrossdep, n, blocks...),
+		)
+		plan, err := BuildPlan(b.prog, nil)
+		if err != nil {
+			t.Logf("BuildPlan: %v", err)
+			return false
+		}
+		byName := map[string]*Task{}
+		for _, tk := range plan.Tasks {
+			byName[tk.Name] = tk
+		}
+		src := byName["src"]
+		for bi := 0; bi < nb; bi++ {
+			for i := 0; i < n; i++ {
+				tk := byName[fmt.Sprintf("blk%d#%d", bi, i)]
+				if tk == nil {
+					t.Logf("missing copy blk%d#%d", bi, i)
+					return false
+				}
+				if tk.Slice != i || tk.NSlices != n {
+					t.Logf("%s: slice=%d/%d, want %d/%d", tk.Name, tk.Slice, tk.NSlices, i, n)
+					return false
+				}
+				want := map[int]bool{}
+				if bi == 0 {
+					want[src.ID] = true
+				} else {
+					for _, j := range []int{i - 1, i, i + 1} {
+						if j >= 0 && j < n {
+							want[byName[fmt.Sprintf("blk%d#%d", bi-1, j)].ID] = true
+						}
+					}
+				}
+				got := map[int]bool{}
+				for _, d := range tk.Deps {
+					got[d] = true
+				}
+				if len(got) != len(want) {
+					t.Logf("%s: %d deps, want %d", tk.Name, len(got), len(want))
+					return false
+				}
+				for d := range want {
+					if !got[d] {
+						t.Logf("%s: missing dep on task %d", tk.Name, d)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionBindingScopeEnforced: whatever the option's body shape, a
+// manager may only bind actions to options inside its own subtree —
+// a binding that reaches into a sibling manager's option is rejected,
+// while the same binding on the owning manager passes.
+func TestOptionBindingScopeEnforced(t *testing.T) {
+	f := func(script []byte, kindRaw uint8) bool {
+		kind := []ActionKind{ActionEnable, ActionDisable, ActionToggle}[kindRaw%3]
+		build := func(bindOn string) *Program {
+			b := NewBuilder("scope")
+			b.Stream("s")
+			b.Queue("q1").Queue("q2")
+			g := &treeGen{script: script, b: b, stream: "s"}
+			var m1Binds, m2Binds []EventBinding
+			bind := EventBinding{Event: "e", Actions: []EventAction{{Kind: kind, Option: "o2"}}}
+			if bindOn == "m1" {
+				m1Binds = append(m1Binds, bind)
+			} else {
+				m2Binds = append(m2Binds, bind)
+			}
+			b.Body(
+				b.Component("src", "src", Ports{"out": "s"}, nil),
+				b.Manager("m1", "q1", m1Binds, g.node(2)),
+				b.Manager("m2", "q2", m2Binds, b.Option("o2", true, g.node(2))),
+			)
+			return b.prog
+		}
+		if err := build("m1").Validate(nil); err == nil {
+			t.Logf("binding to a sibling manager's option accepted")
+			return false
+		}
+		if err := build("m2").Validate(nil); err != nil {
+			t.Logf("binding to own option rejected: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

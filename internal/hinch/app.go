@@ -71,6 +71,11 @@ type Config struct {
 	// the reconfiguration stall. Exists for the ablation benchmark; the
 	// paper's design (eager) is the default.
 	LazyCreation bool
+
+	// Hooks injects test-only scheduler instrumentation (yield points
+	// at dispatch boundaries, steal-victim reseeding) for schedule
+	// exploration; see TestHooks. Nil in production.
+	Hooks TestHooks
 }
 
 // withDefaults fills unset fields.

@@ -142,6 +142,8 @@ type engine struct {
 	simRC RunContext // the sim backend's reusable run context
 
 	ws *sched // real backend: work-stealing scheduler; nil on sim
+
+	hooks TestHooks // test-only schedule perturbation; nil in production
 }
 
 // readyQueue is the sim backend's central job queue. Jobs are handed out
@@ -178,6 +180,7 @@ func newEngine(a *App, limit int) *engine {
 		stopLaunch: -1,
 		mgrs:       map[string]*mgrState{},
 		perClass:   map[string]*ClassStats{},
+		hooks:      a.cfg.Hooks,
 	}
 	for name := range a.managers {
 		e.mgrs[name] = &mgrState{lastEntered: -1}
@@ -370,6 +373,9 @@ func (e *engine) shouldPark(j job) bool {
 // reconfiguration splice) aborts the run and must be propagated by the
 // caller.
 func (e *engine) complete(j job, w *wsWorker) (*reconfigResult, error) {
+	if e.hooks != nil {
+		e.hooks.Yield(YieldComplete)
+	}
 	it := e.iterAt(j.iter)
 	if it == nil || it.done[j.task.ID].Swap(true) {
 		panic(fmt.Sprintf("hinch: double completion of %s@%d", j.task.Name, j.iter))
@@ -428,6 +434,9 @@ func (e *engine) retireSweep(w *wsWorker) {
 // stream buffers, requeues backpressured jobs, and refills the pipeline.
 // Must be called with mu held, via retireSweep.
 func (e *engine) retire(it *iterState, w *wsWorker) {
+	if e.hooks != nil {
+		e.hooks.Yield(YieldRetire)
+	}
 	e.ring[it.iter%len(e.ring)].Store(nil)
 	e.nIters--
 	if it.acquired.Load() {
@@ -535,6 +544,9 @@ func (e *engine) ensureBuffers(iter int) {
 	}
 	e.bufActive++
 	for _, s := range e.app.streamList {
+		if e.hooks != nil {
+			e.hooks.Yield(YieldAcquire)
+		}
 		s.acquire(iter)
 	}
 	// Publish last: execReal's lock-free fast path reads acquired without

@@ -15,7 +15,7 @@ import (
 // elapsed time.
 func (e *engine) runReal() (*Report, error) {
 	start := time.Now()
-	e.ws = newSched(e.app.cfg.Cores, len(e.app.plan.Tasks))
+	e.ws = newSched(e.app.cfg.Cores, len(e.app.plan.Tasks), e.hooks)
 
 	e.mu.Lock()
 	e.launch(nil)
@@ -153,6 +153,11 @@ func (e *engine) execReal(w *wsWorker, j job) {
 		e.mu.Unlock()
 	}
 
+	if e.hooks != nil {
+		// Stretch the window between the lock-free acquired/cancelled
+		// probes above and the component's first stream access.
+		e.hooks.Yield(YieldDispatch)
+	}
 	inst, err := e.resolveInstance(j)
 	if err != nil {
 		e.failReal(err)

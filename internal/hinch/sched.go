@@ -109,7 +109,8 @@ func (w *wsWorker) nextRand() uint64 {
 // sched is the shared work-stealing state of one real-backend run.
 type sched struct {
 	workers []*wsWorker
-	global  wsDeque // jobs released outside worker context
+	global  wsDeque   // jobs released outside worker context
+	hooks   TestHooks // test-only schedule perturbation; nil in production
 
 	// inflight counts jobs that are queued or executing. It is
 	// incremented before a job becomes visible in any queue and
@@ -125,13 +126,22 @@ type sched struct {
 	done   atomic.Bool
 }
 
-func newSched(n, nTasks int) *sched {
-	s := &sched{workers: make([]*wsWorker, n)}
+func newSched(n, nTasks int, hooks TestHooks) *sched {
+	s := &sched{workers: make([]*wsWorker, n), hooks: hooks}
 	for i := range s.workers {
+		seed := uint64(i)*0x9e3779b97f4a7c15 + 1
+		if hooks != nil {
+			// Reseed the victim sequence so schedule exploration visits
+			// steal orders the default seeding never produces. Zero keeps
+			// the default (xorshift must not start at 0).
+			if hs := hooks.StealSeed(i); hs != 0 {
+				seed = hs
+			}
+		}
 		s.workers[i] = &wsWorker{
 			id:    i,
 			park:  make(chan struct{}, 1),
-			rng:   uint64(i)*0x9e3779b97f4a7c15 + 1,
+			rng:   seed,
 			stats: make([]ClassStats, nTasks),
 		}
 		s.workers[i].dq.buf = make([]job, 0, 64)
@@ -145,6 +155,9 @@ func newSched(n, nTasks int) *sched {
 // job it is executing — so a plain pipeline (every completion releasing
 // exactly one successor) runs without any wake traffic at all.
 func (s *sched) push(w *wsWorker, j job) {
+	if s.hooks != nil {
+		s.hooks.Yield(YieldEnqueue)
+	}
 	s.inflight.Add(1)
 	if w != nil {
 		w.dq.push(j)

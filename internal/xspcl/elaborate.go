@@ -79,6 +79,15 @@ func (el *elaborator) body(b *Body, prefix string, e env, stack []string) (*grap
 		if err != nil {
 			return nil, err
 		}
+		if n.Kind == graph.KindSeq {
+			// A <call> elaborates to the called procedure's body, a Seq.
+			// Inline it: a Seq directly inside a Seq adds no structure,
+			// and flattening makes elaboration canonical — EmitXML inlines
+			// Seq children, so emit→parse is a fixed point from the first
+			// parse on.
+			seq.Children = append(seq.Children, n.Children...)
+			continue
+		}
 		seq.Children = append(seq.Children, n)
 	}
 	return seq, nil

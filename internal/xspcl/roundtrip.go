@@ -1,0 +1,32 @@
+package xspcl
+
+import (
+	"fmt"
+
+	"xspcl/internal/graph"
+)
+
+// VerifyRoundTrip checks that prog survives an emit→parse round trip:
+// EmitXML must render a document that Load elaborates back to a
+// structurally identical program (compared through the canonical
+// String dump, which covers streams, queues, components, parameters,
+// parallel shapes, options, managers and event bindings).
+//
+// It is the property behind the conformance harness's round-trip stage
+// and the apps round-trip test; exported so any holder of an elaborated
+// program can assert it.
+func VerifyRoundTrip(prog *graph.Program) error {
+	xml, err := EmitXML(prog)
+	if err != nil {
+		return fmt.Errorf("xspcl: round-trip emit: %w", err)
+	}
+	prog2, err := Load(xml)
+	if err != nil {
+		return fmt.Errorf("xspcl: round-trip reparse: %w", err)
+	}
+	a, b := prog.String(), prog2.String()
+	if a != b {
+		return fmt.Errorf("xspcl: emit/parse round trip changed the program:\n--- original ---\n%s\n--- round-tripped ---\n%s", a, b)
+	}
+	return nil
+}

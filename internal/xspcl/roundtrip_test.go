@@ -1,0 +1,60 @@
+package xspcl_test
+
+// External test package: it imports internal/apps (which itself
+// imports xspcl), so the round-trip property runs over every paper
+// application the examples load, without an import cycle.
+
+import (
+	"testing"
+
+	"xspcl/internal/apps"
+	"xspcl/internal/xspcl"
+)
+
+// TestVariantsRoundTrip asserts the emit→parse round trip for every
+// paper variant's XSPCL document — the programs behind examples/pip,
+// examples/jpip, examples/blur and examples/reconfig.
+func TestVariantsRoundTrip(t *testing.T) {
+	for _, v := range apps.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, err := xspcl.Load(v.XML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := xspcl.VerifyRoundTrip(prog); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRoundTripIsIdempotent asserts a second emit of the re-parsed
+// program is byte-identical to the first — the emitter is a fixed
+// point, not merely String()-equivalent.
+func TestRoundTripIsIdempotent(t *testing.T) {
+	for _, v := range apps.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, err := xspcl.Load(v.XML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xml1, err := xspcl.EmitXML(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog2, err := xspcl.Load(xml1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xml2, err := xspcl.EmitXML(prog2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xml1 != xml2 {
+				t.Fatalf("second emit differs:\n--- first ---\n%s\n--- second ---\n%s", xml1, xml2)
+			}
+		})
+	}
+}

@@ -18,11 +18,16 @@
 #
 # Output schema (BENCH_results.json):
 #   { "generated_by": ..., "go": ..., "benchtime": ...,
+#     "tests": {"test_funcs": ..., "fuzz_targets": ..., "bench_funcs": ...,
+#               "coverage": [{"package": ..., "pct": ...}, ...]},
 #     "results": [ {"package": ..., "name": ..., "ns_per_op": ...,
 #                   "allocs_per_op": ..., "bytes_per_op": ...,
 #                   "mb_per_s": ...}, ... ] }
 # ns_per_op is always present; the other metrics appear when the
-# benchmark reports them.
+# benchmark reports them. "tests" records the size of the regression
+# net the numbers were produced under: statement coverage per package
+# plus counts of Test/Fuzz/Benchmark functions in the tree. Set
+# SKIP_COVER=1 to skip the coverage run (tests object is then omitted).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,7 +35,24 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_results.json}"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+COV="$(mktemp)"
+trap 'rm -f "$TMP" "$COV"' EXIT
+
+# Coverage + test census. Runs before the benchmarks so a test failure
+# aborts without writing stale numbers.
+TESTN=0 FUZZN=0 BENCHN=0
+if [[ -z "${SKIP_COVER:-}" ]]; then
+  echo ">> go test ./... -cover" >&2
+  go test ./... -count=1 -cover 2>&1 |
+    awk '/^ok/ && /coverage:/ {
+      for (i = 1; i <= NF; i++) if ($i == "coverage:") { pct = $(i + 1); sub(/%$/, "", pct) }
+      print $2 "\t" pct
+    }' >"$COV"
+  TESTN=$(grep -rhE '^func (Test|Example)[A-Z_]' --include='*_test.go' . | wc -l)
+  FUZZN=$(grep -rhE '^func Fuzz[A-Z_]' --include='*_test.go' . | wc -l)
+  BENCHN=$(grep -rhE '^func Benchmark[A-Z_]' --include='*_test.go' . | wc -l)
+  echo ">> $(wc -l <"$COV") covered packages, $TESTN tests, $FUZZN fuzz targets, $BENCHN benchmarks" >&2
+fi
 
 run_bench() { # run_bench <package> <bench regex> [extra go test args...]
   local pkg="$1" pat="$2"
@@ -48,12 +70,26 @@ run_bench ./internal/kernels/ '.' -benchmem
 # Fold the benchmark lines into JSON. Benchmark output fields arrive as
 # value/unit pairs after the iteration count, e.g.:
 #   pkg \t BenchmarkFoo-8  123  4567 ns/op  99 B/op  3 allocs/op
-awk -v benchtime="$BENCHTIME" '
+awk -v benchtime="$BENCHTIME" -v covfile="$COV" \
+    -v testn="$TESTN" -v fuzzn="$FUZZN" -v benchn="$BENCHN" '
 BEGIN {
   printf "{\n  \"generated_by\": \"scripts/bench.sh\",\n"
   "go version" | getline gv
   printf "  \"go\": \"%s\",\n", gv
-  printf "  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  nc = 0
+  while ((getline line <covfile) > 0) {
+    split(line, f, "\t")
+    covpkg[nc] = f[1]; covpct[nc] = f[2]; nc++
+  }
+  close(covfile)
+  if (nc > 0) {
+    printf "  \"tests\": {\"test_funcs\": %d, \"fuzz_targets\": %d, \"bench_funcs\": %d, \"coverage\": [\n", testn, fuzzn, benchn
+    for (i = 0; i < nc; i++)
+      printf "    {\"package\": \"%s\", \"pct\": %s}%s\n", covpkg[i], covpct[i], i < nc - 1 ? "," : ""
+    printf "  ]},\n"
+  }
+  printf "  \"results\": [\n"
   n = 0
 }
 {
