@@ -27,6 +27,7 @@ import (
 	"xspcl/internal/components"
 	"xspcl/internal/graph"
 	"xspcl/internal/hinch"
+	"xspcl/internal/hinch/trace"
 	"xspcl/internal/media"
 	"xspcl/internal/mjpeg"
 	"xspcl/internal/predict"
@@ -331,26 +332,30 @@ func BenchmarkSyntheticFrame(b *testing.B) {
 	}
 }
 
+// schedThroughputProgram is the scheduler-stress graph shared by
+// BenchmarkSchedulerThroughput and BenchmarkTraceOverhead: a wide
+// sliced graph of trivial components, so job dispatch dominates.
+func schedThroughputProgram() *graph.Program {
+	gb := graph.NewBuilder("sched")
+	gb.FrameStream("v", 64, 48)
+	gb.Body(
+		gb.Component("src", "videosrc", graph.Ports{"out": "v"},
+			graph.Params{"width": "64", "height": "48", "frames": "64"}),
+		gb.Parallel(graph.ShapeSlice, 16,
+			gb.Component("c", "copyplane", graph.Ports{"in": "v", "out": "v2"}, nil),
+		),
+		gb.Component("snk", "videosink", graph.Ports{"in": "v2"}, nil),
+	)
+	gb.FrameStream("v2", 64, 48)
+	return gb.MustProgram()
+}
+
 // BenchmarkSchedulerThroughput measures raw job dispatch on the real
-// backend: a wide sliced graph of trivial components.
+// backend.
 func BenchmarkSchedulerThroughput(b *testing.B) {
-	build := func() *graph.Program {
-		gb := graph.NewBuilder("sched")
-		gb.FrameStream("v", 64, 48)
-		gb.Body(
-			gb.Component("src", "videosrc", graph.Ports{"out": "v"},
-				graph.Params{"width": "64", "height": "48", "frames": "64"}),
-			gb.Parallel(graph.ShapeSlice, 16,
-				gb.Component("c", "copyplane", graph.Ports{"in": "v", "out": "v2"}, nil),
-			),
-			gb.Component("snk", "videosink", graph.Ports{"in": "v2"}, nil),
-		)
-		gb.FrameStream("v2", 64, 48)
-		return gb.MustProgram()
-	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		app, err := hinch.NewApp(build(), components.DefaultRegistry(), hinch.Config{
+		app, err := hinch.NewApp(schedThroughputProgram(), components.DefaultRegistry(), hinch.Config{
 			Backend: hinch.BackendReal, Cores: 4, Workless: true,
 		})
 		if err != nil {
@@ -364,6 +369,35 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			b.ReportMetric(float64(rep.Jobs)*float64(b.N)/float64(b.Elapsed().Seconds())/1e3, "kjobs/s")
 		}
 	}
+}
+
+// BenchmarkTraceOverhead measures what the flight recorder costs on the
+// scheduler-bound workload above. The "nil" case is the production
+// default (Config.Tracer unset: one predictable branch per boundary)
+// and must match BenchmarkSchedulerThroughput. The "ring" case attaches
+// the ring-buffer recorder; its cost is one monotonic clock read plus
+// two ring stores per executed job (~45ns on the CI VM — see DESIGN.md
+// §8), which this benchmark's empty ~0.5µs jobs are chosen to magnify.
+// The ring recorder is reused across iterations (Begin resets the
+// shards in place), mirroring how a long-lived deployment would hold
+// one recorder.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tr hinch.Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			app, err := hinch.NewApp(schedThroughputProgram(), components.DefaultRegistry(), hinch.Config{
+				Backend: hinch.BackendReal, Cores: 4, Workless: true, Tracer: tr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Run(64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("ring", func(b *testing.B) { run(b, trace.New(0)) })
 }
 
 // BenchmarkEagerVsLazyCreation ablates the paper's §3.4 design choice

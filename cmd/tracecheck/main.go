@@ -1,0 +1,127 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by the Hinch flight recorder (`xspclrun -trace` / `experiments
+// -trace`) without loading it into Perfetto: the top-level shape, the
+// per-event required fields, known phase types, non-negative complete
+// slices, and matched flow pairs. CI runs it on a traced smoke run so
+// an export regression fails the build instead of a manual Perfetto
+// session.
+//
+//	tracecheck out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+type traceEvent struct {
+	Name *string        `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+var knownPhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "I": true,
+	"C": true, "M": true, "s": true, "t": true, "f": true,
+	"b": true, "e": true, "n": true,
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no traceEvents", path)
+	}
+	counts := map[string]int{}
+	flows := map[string]int{} // flow id -> open "s" count
+	for i, ev := range tf.TraceEvents {
+		where := fmt.Sprintf("%s: traceEvents[%d]", path, i)
+		if ev.Name == nil {
+			return fmt.Errorf("%s: missing name", where)
+		}
+		if !knownPhases[ev.Ph] {
+			return fmt.Errorf("%s: unknown phase %q", where, ev.Ph)
+		}
+		if ev.TS == nil {
+			return fmt.Errorf("%s: missing ts", where)
+		}
+		if *ev.TS < 0 {
+			return fmt.Errorf("%s: negative ts %v", where, *ev.TS)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("%s: missing pid/tid", where)
+		}
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				return fmt.Errorf("%s: complete slice without dur", where)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("%s: negative dur %v", where, *ev.Dur)
+			}
+		case "C":
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("%s: counter without args", where)
+			}
+		case "M":
+			if _, ok := ev.Args["name"]; !ok {
+				return fmt.Errorf("%s: metadata without args.name", where)
+			}
+		case "s":
+			if ev.ID == "" {
+				return fmt.Errorf("%s: flow start without id", where)
+			}
+			flows[ev.ID]++
+		case "f":
+			if flows[ev.ID] <= 0 {
+				return fmt.Errorf("%s: flow finish %q without open start", where, ev.ID)
+			}
+			flows[ev.ID]--
+		}
+	}
+	for id, open := range flows {
+		if open != 0 {
+			return fmt.Errorf("%s: flow %q has %d unmatched starts", path, id, open)
+		}
+	}
+	if counts["X"] == 0 {
+		return fmt.Errorf("%s: no complete slices (job spans missing)", path)
+	}
+	if counts["M"] == 0 {
+		return fmt.Errorf("%s: no metadata events (track names missing)", path)
+	}
+	fmt.Printf("%s: ok — %d events (X=%d i=%d C=%d M=%d s/f=%d)\n",
+		path, len(tf.TraceEvents), counts["X"], counts["i"], counts["C"], counts["M"], counts["s"])
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

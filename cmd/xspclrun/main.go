@@ -8,9 +8,15 @@
 // SpaceCAKE tile; on the real backend it reports wall-clock time using
 // worker goroutines. The -cpuprofile and -memprofile flags write pprof
 // profiles of the run (most useful with -backend real).
+//
+// The -trace flag attaches the flight recorder and writes the run as
+// Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev);
+// -report json prints the Report as JSON instead of the compact
+// summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"xspcl/internal/apps"
 	"xspcl/internal/components"
 	"xspcl/internal/hinch"
+	"xspcl/internal/hinch/trace"
 	"xspcl/internal/profiling"
 	"xspcl/internal/xspcl"
 )
@@ -31,13 +38,15 @@ func main() {
 	workless := flag.Bool("workless", false, "skip kernel computation (sim cost accounting only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "record a flight-recorder trace and write Perfetto JSON to this file")
+	report := flag.String("report", "text", "report format: text or json")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless); err != nil {
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *traceOut, *report); err != nil {
 		stop()
 		fail(err)
 	}
@@ -46,7 +55,7 @@ func main() {
 	}
 }
 
-func run(cores, frames, pipeline int, backend, builtin string, workless bool) error {
+func run(cores, frames, pipeline int, backend, builtin string, workless bool, traceOut, report string) error {
 	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless}
 	switch backend {
 	case "sim":
@@ -83,6 +92,11 @@ func run(cores, frames, pipeline int, backend, builtin string, workless bool) er
 	if err != nil {
 		return err
 	}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New(0)
+		cfg.Tracer = rec
+	}
 	app, err := hinch.NewApp(prog, components.DefaultRegistry(), cfg)
 	if err != nil {
 		return err
@@ -91,7 +105,24 @@ func run(cores, frames, pipeline int, backend, builtin string, workless bool) er
 	if err != nil {
 		return err
 	}
-	fmt.Println(rep)
+	if rec != nil {
+		if err := rec.WriteFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n", rec.Total(), rec.Dropped(), traceOut)
+	}
+	switch report {
+	case "json":
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case "text", "":
+		fmt.Println(rep)
+	default:
+		return fmt.Errorf("unknown report format %q", report)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"xspcl/internal/graph"
 	"xspcl/internal/hinch"
+	"xspcl/internal/hinch/trace"
 	"xspcl/internal/xspcl"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	// of (seed, worker count), so a failing seed replays the same
 	// schedule pressure.
 	Perturb bool
+	// Trace attaches the flight recorder to every run and validates
+	// the recorded trace against the run's report (span nesting, span
+	// count vs. executed jobs). Combined with Perturb under the race
+	// detector this doubles as the recorder's concurrency check: the
+	// tracer's shard discipline must hold on every explored schedule.
+	Trace bool
 	// Logf, when set, receives progress lines (plug in t.Logf).
 	Logf func(format string, args ...any)
 }
@@ -129,11 +136,11 @@ func Check(seed uint64, opt Options) error {
 	// Sim twice — once on the built program, once on the round-tripped
 	// one. The sim backend is deterministic, so the runs must agree on
 	// every observable, including event/reconfiguration order.
-	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil)
+	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim: %w", seed, err)
 	}
-	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil)
+	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim(round-tripped): %w", seed, err)
 	}
@@ -149,7 +156,7 @@ func Check(seed uint64, opt Options) error {
 		if opt.Perturb {
 			hooks = &perturb{seed: mix(seed, uint64(w))}
 		}
-		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks)
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace)
 		if err != nil {
 			return fmt.Errorf("seed %d: real/%dw: %w", seed, w, err)
 		}
@@ -163,8 +170,10 @@ func Check(seed uint64, opt Options) error {
 
 // runOnce executes prog once on the given backend and collects the
 // observation. Every run gets a fresh registry: conformance component
-// instances hold per-run state.
-func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks) (obs *Observation, err error) {
+// instances hold per-run state. With traced set, the flight recorder
+// rides along and the recorded trace is validated against the report
+// before the observation is returned.
+func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks, traced bool) (obs *Observation, err error) {
 	defer func() {
 		// The runtime surfaces dependency violations as panics (e.g.
 		// Stream.slotFor on an unacquired iteration, or a nil-payload
@@ -179,19 +188,30 @@ func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hook
 	if backend == hinch.BackendReal {
 		name = "real"
 	}
-	app, err := hinch.NewApp(prog, Registry(), hinch.Config{
+	cfg := hinch.Config{
 		Backend:        backend,
 		Cores:          cores,
 		PipelineDepth:  g.Depth,
 		StreamCapacity: g.StreamCap,
 		Hooks:          hooks,
-	})
+	}
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.New(0)
+		cfg.Tracer = rec // conditional: a typed-nil Tracer would defeat the nil check
+	}
+	app, err := hinch.NewApp(prog, Registry(), cfg)
 	if err != nil {
 		return nil, err
 	}
 	rep, err := app.Run(g.Iters)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		if err := trace.Validate(rec, rep); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
 	}
 	snk, ok := app.Component(g.SinkName).(*csink)
 	if !ok {

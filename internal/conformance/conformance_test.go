@@ -46,6 +46,25 @@ func TestConformanceSmoke(t *testing.T) {
 	}
 }
 
+// TestConformanceTracedSmoke re-runs the multi-source smoke seeds with
+// the flight recorder attached on every backend run. It exists for two
+// regressions the plain smoke can't catch: the recorder's shard
+// discipline racing a perturbed schedule (this test is part of the
+// -race CI lane), and the trace invariants (span nesting, span count
+// vs. executed jobs) drifting from the runtime on the generated-program
+// family rather than the hand-built apps the trace package tests use.
+func TestConformanceTracedSmoke(t *testing.T) {
+	for _, seed := range smokeSeeds[8:] { // the multi-source half
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := Check(seed, Options{Perturb: true, Trace: true, Workers: []int{8}}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestGeneratedProgramsValid sweeps a seed range through generation,
 // superplan construction and the emit→parse round-trip, and asserts the
 // generator actually produces every program family it advertises.
@@ -111,7 +130,7 @@ func TestOracleMatchesSim(t *testing.T) {
 			continue
 		}
 		checked++
-		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil)
+		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil, false)
 		if err != nil {
 			t.Fatalf("seed %d: sim: %v", seed, err)
 		}

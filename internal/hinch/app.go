@@ -76,6 +76,12 @@ type Config struct {
 	// at dispatch boundaries, steal-victim reseeding) for schedule
 	// exploration; see TestHooks. Nil in production.
 	Hooks TestHooks
+
+	// Tracer receives span and counter events while the run executes
+	// (job lifecycle, stream occupancy, scheduler actions,
+	// reconfiguration phases); see Tracer and internal/hinch/trace.
+	// Nil disables tracing at the cost of one branch per boundary.
+	Tracer Tracer
 }
 
 // withDefaults fills unset fields.
@@ -148,7 +154,13 @@ type App struct {
 	streams    map[string]*Stream
 	streamList []*Stream // declaration order, for deterministic allocation
 	queues     map[string]*EventQueue
+	queueNames []string       // declaration order; TraceEvent.ID name table
+	queueIndex map[string]int // queue name -> trace index
 	managers   map[string]*graph.Node
+
+	// eng is the engine of the (single) run, set by Run before
+	// execution starts so RunContext.Emit can reach the tracer.
+	eng *engine
 
 	// instances is a copy-on-write map: reconfigurations (rare, under
 	// the engine lock) replace the whole map, so the per-job instance
@@ -203,11 +215,15 @@ func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.idx = len(a.streamList)
 		a.streams[decl.Name] = s
 		a.streamList = append(a.streamList, s)
 	}
+	a.queueIndex = map[string]int{}
 	for _, q := range prog.Queues {
 		a.queues[q] = NewEventQueue()
+		a.queueIndex[q] = len(a.queueNames)
+		a.queueNames = append(a.queueNames, q)
 	}
 	for _, m := range prog.Managers() {
 		a.managers[m.Name] = m
@@ -398,6 +414,7 @@ func (a *App) Run(iterations int) (*Report, error) {
 		iterations = -1
 	}
 	e := newEngine(a, iterations)
+	a.eng = e
 	switch a.cfg.Backend {
 	case BackendSim:
 		return e.runSim()

@@ -213,6 +213,7 @@ type RunContext struct {
 	access   []spacecake.Access // accumulated memory accesses (sim backend)
 	streamed []spacecake.Region // accumulated streamed (DMA) transfers
 	sim      bool
+	shard    int // tracer shard of the owning worker (0 on sim); not cleared by reset
 }
 
 // reset prepares rc for one job, keeping the accumulated slices'
@@ -288,8 +289,15 @@ func (rc *RunContext) Emit(queue string, ev Event) error {
 	if !ok {
 		return fmt.Errorf("hinch: %s: unknown event queue %q", rc.task.Name, queue)
 	}
-	q.Push(ev)
+	depth := q.Push(ev)
 	rc.app.metrics.eventsEmitted.Add(1)
+	if e := rc.app.eng; e != nil && e.tr != nil {
+		e.tr.Emit(rc.shard, TraceEvent{
+			TS: e.rcTS(rc.shard), Kind: TraceEventPush,
+			Worker: int32(rc.shard - 1), Iter: int32(rc.iter),
+			ID: int32(rc.app.queueIndex[queue]), Arg: int64(depth),
+		})
+	}
 	return nil
 }
 

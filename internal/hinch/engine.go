@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xspcl/internal/graph"
 )
@@ -144,6 +146,13 @@ type engine struct {
 	ws *sched // real backend: work-stealing scheduler; nil on sim
 
 	hooks TestHooks // test-only schedule perturbation; nil in production
+
+	tr      Tracer    // flight recorder; nil in production
+	trStart time.Time // real backend: trace timestamps count from this instant
+	simNow  int64     // sim backend: mirror of the virtual clock, for trace timestamps
+
+	mgrNames []string       // sorted manager names; TraceEvent.ID table
+	mgrIndex map[string]int // manager name -> trace index
 }
 
 // readyQueue is the sim backend's central job queue. Jobs are handed out
@@ -184,8 +193,74 @@ func newEngine(a *App, limit int) *engine {
 	}
 	for name := range a.managers {
 		e.mgrs[name] = &mgrState{lastEntered: -1}
+		e.mgrNames = append(e.mgrNames, name)
 	}
+	// Sorted so every per-manager sweep (and therefore every trace
+	// emission order) is independent of map iteration order.
+	sort.Strings(e.mgrNames)
+	e.mgrIndex = make(map[string]int, len(e.mgrNames))
+	for i, n := range e.mgrNames {
+		e.mgrIndex[n] = i
+	}
+	e.tr = a.cfg.Tracer
 	return e
+}
+
+// traceShard maps the acting worker to its tracer shard: shard 0 is
+// engine-level (serialised by mu, or by the single sim goroutine);
+// shard w+1 is written only by worker w's goroutine.
+func traceShard(w *wsWorker) int {
+	if w == nil {
+		return 0
+	}
+	return w.id + 1
+}
+
+// traceTS returns the trace timestamp for events produced in worker
+// w's wake: the virtual clock on sim; the worker's cached span-end
+// time on real (exact at span boundaries, stale by at most one job
+// elsewhere); or a fresh clock read for engine-level real-backend
+// events outside any worker context (rare slow paths only).
+func (e *engine) traceTS(w *wsWorker) int64 {
+	if e.ws == nil {
+		return e.simNow
+	}
+	if w != nil {
+		return w.lastTS
+	}
+	return int64(time.Since(e.trStart))
+}
+
+// rcTS is traceTS for RunContext call sites that only know their
+// shard index.
+func (e *engine) rcTS(shard int) int64 {
+	if e.ws == nil {
+		return e.simNow
+	}
+	if shard > 0 {
+		return e.ws.workers[shard-1].lastTS
+	}
+	return int64(time.Since(e.trStart))
+}
+
+// traceMeta assembles the Tracer.Begin metadata for this run.
+func (e *engine) traceMeta(wall bool) TraceMeta {
+	tasks := make([]string, len(e.app.plan.Tasks))
+	for i, t := range e.app.plan.Tasks {
+		tasks[i] = t.Name
+	}
+	streams := make([]string, len(e.app.streamList))
+	for i, s := range e.app.streamList {
+		streams[i] = s.name
+	}
+	return TraceMeta{
+		Cores:    e.app.cfg.Cores,
+		Wall:     wall,
+		Tasks:    tasks,
+		Streams:  streams,
+		Queues:   e.app.queueNames,
+		Managers: e.mgrNames,
+	}
 }
 
 // iterAt returns the in-flight state of iteration k, or nil when k is
@@ -313,6 +388,12 @@ func (e *engine) launch(w *wsWorker) {
 		}
 		slot.Store(it)
 		e.nIters++
+		if e.tr != nil {
+			e.tr.Emit(traceShard(w), TraceEvent{
+				TS: e.traceTS(w), Kind: TraceIterLaunch,
+				Worker: int32(traceShard(w) - 1), Iter: int32(k), ID: -1,
+			})
+		}
 		prev := e.iterAt(k - 1)
 		for _, t := range plan.Tasks {
 			if prev == nil || prev.done[t.ID].Load() {
@@ -328,6 +409,12 @@ func (e *engine) launch(w *wsWorker) {
 // the sim backend, or (via w, the worker that produced it) a
 // work-stealing deque on the real backend.
 func (e *engine) enqueue(w *wsWorker, j job) {
+	if e.tr != nil {
+		e.tr.Emit(traceShard(w), TraceEvent{
+			TS: e.traceTS(w), Kind: TraceJobEnqueue,
+			Worker: int32(traceShard(w) - 1), Iter: int32(j.iter), ID: int32(j.task.ID),
+		})
+	}
 	if e.ws != nil {
 		e.ws.push(w, j)
 		return
@@ -396,7 +483,7 @@ func (e *engine) complete(j job, w *wsWorker) (*reconfigResult, error) {
 		var err error
 		e.mu.Lock()
 		if st := e.mgrs[j.task.Manager]; st != nil && st.phase == mgrHalted && j.iter == st.gateAfter {
-			res, err = e.applyReconfig(st)
+			res, err = e.applyReconfig(j.task.Manager, st, w)
 		}
 		e.mu.Unlock()
 		if err != nil {
@@ -443,6 +530,12 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 		e.bufActive--
 		for _, s := range e.app.streamList {
 			s.release(it.iter)
+			if e.tr != nil {
+				e.tr.Emit(traceShard(w), TraceEvent{
+					TS: e.traceTS(w), Kind: TraceStreamRelease,
+					Worker: -1, Iter: int32(it.iter), ID: int32(s.idx), Arg: int64(s.nactive),
+				})
+			}
 		}
 		// Buffers freed: iterations waiting on the stream FIFO
 		// capacity can try again. The two backing arrays rotate so the
@@ -454,8 +547,19 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 		}
 		e.bufSpare = parked[:0]
 	}
-	if !it.cancelled.Load() {
+	counted := !it.cancelled.Load()
+	if counted {
 		e.processed++
+	}
+	if e.tr != nil {
+		var arg int64
+		if counted {
+			arg = 1
+		}
+		e.tr.Emit(traceShard(w), TraceEvent{
+			TS: e.traceTS(w), Kind: TraceIterRetire,
+			Worker: int32(traceShard(w) - 1), Iter: int32(it.iter), ID: -1, Arg: arg,
+		})
 	}
 	e.free = append(e.free, it)
 	e.checkResumes(w)
@@ -468,7 +572,8 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 // from the parked iterations — the parallelism loss the paper's Figure
 // 10 measures. Must be called with mu held.
 func (e *engine) checkResumes(w *wsWorker) {
-	for _, st := range e.mgrs {
+	for mi, name := range e.mgrNames {
+		st := e.mgrs[name]
 		if st.phase != mgrApplied {
 			continue
 		}
@@ -480,6 +585,12 @@ func (e *engine) checkResumes(w *wsWorker) {
 		})
 		if !drained {
 			continue
+		}
+		if e.tr != nil {
+			e.tr.Emit(traceShard(w), TraceEvent{
+				TS: e.traceTS(w), Kind: TraceReconfigResume,
+				Worker: -1, Iter: int32(st.gateAfter), ID: int32(mi),
+			})
 		}
 		for _, pj := range st.parked {
 			e.enqueue(w, pj)
@@ -543,11 +654,21 @@ func (e *engine) ensureBuffers(iter int) {
 		return
 	}
 	e.bufActive++
+	var ts int64
+	if e.tr != nil {
+		ts = e.traceTS(nil)
+	}
 	for _, s := range e.app.streamList {
 		if e.hooks != nil {
 			e.hooks.Yield(YieldAcquire)
 		}
 		s.acquire(iter)
+		if e.tr != nil {
+			e.tr.Emit(0, TraceEvent{
+				TS: ts, Kind: TraceStreamAcquire,
+				Worker: -1, Iter: int32(iter), ID: int32(s.idx), Arg: int64(s.nactive),
+			})
+		}
 	}
 	// Publish last: execReal's lock-free fast path reads acquired without
 	// the engine lock, and the atomic store must make the slot pointers
@@ -606,7 +727,14 @@ func (e *engine) managerPoll(j job) (ops int64, err error) {
 	}
 	if m.Queue != "" {
 		q := e.app.queues[m.Queue]
-		for _, ev := range q.Drain() {
+		drained := q.Drain()
+		if e.tr != nil && len(drained) > 0 {
+			e.tr.Emit(0, TraceEvent{
+				TS: e.traceTS(nil), Kind: TraceEventDrain,
+				Worker: -1, Iter: int32(j.iter), ID: int32(e.app.queueIndex[m.Queue]), Arg: int64(len(drained)),
+			})
+		}
+		for _, ev := range drained {
 			for _, bind := range m.Bindings {
 				if bind.Event != ev.Name {
 					continue
@@ -667,6 +795,12 @@ func (e *engine) applyAction(m *graph.Node, st *mgrState, j job, ev Event, act g
 			st.gateAfter = j.iter
 			if st.lastEntered > st.gateAfter {
 				st.gateAfter = st.lastEntered
+			}
+			if e.tr != nil {
+				e.tr.Emit(0, TraceEvent{
+					TS: e.traceTS(nil), Kind: TraceReconfigHalt,
+					Worker: -1, Iter: int32(st.gateAfter), ID: int32(e.mgrIndex[m.Name]),
+				})
 			}
 		}
 		if want && !e.app.cfg.LazyCreation {
@@ -747,7 +881,7 @@ func (e *engine) preCreateOption(option string) (int, error) {
 // the stall to charge and the parked jobs to resume; a non-nil error
 // (component creation failed inside the quiescent window) must abort
 // the run. Must be called with mu held.
-func (e *engine) applyReconfig(st *mgrState) (*reconfigResult, error) {
+func (e *engine) applyReconfig(name string, st *mgrState, w *wsWorker) (*reconfigResult, error) {
 	nChanged, created := 0, 0
 	var firstErr error
 	for _, t := range e.app.plan.ComponentTasks() {
@@ -792,6 +926,12 @@ func (e *engine) applyReconfig(st *mgrState) (*reconfigResult, error) {
 		e.app.cfg.CreateOpsPerComponent*int64(created)
 	e.stall += stall
 	e.reconfigs++
+	if e.tr != nil {
+		e.tr.Emit(traceShard(w), TraceEvent{
+			TS: e.traceTS(w), Kind: TraceReconfigApply,
+			Worker: -1, Iter: int32(st.gateAfter), ID: int32(e.mgrIndex[name]), Arg: stall,
+		})
+	}
 	// Parked entries stay held until checkResumes sees the pipeline
 	// fully drained of pre-halt iterations.
 	res := &reconfigResult{stall: stall}

@@ -21,11 +21,14 @@ type EventQueue struct {
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
 
-// Push appends an event.
-func (q *EventQueue) Push(ev Event) {
+// Push appends an event and returns the queue depth after the push
+// (recorded by the tracer as the queue's counter track).
+func (q *EventQueue) Push(ev Event) int {
 	q.mu.Lock()
 	q.q = append(q.q, ev)
+	n := len(q.q)
 	q.mu.Unlock()
+	return n
 }
 
 // Drain removes and returns all queued events in arrival order.

@@ -1,6 +1,7 @@
 package hinch
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,9 +13,25 @@ import (
 
 // ClassStats aggregates per-component-class counters from a run.
 type ClassStats struct {
-	Jobs      int64 // jobs executed
-	Ops       int64 // arithmetic operations charged (sim)
-	MemCycles int64 // memory latency cycles charged (sim)
+	Jobs      int64 `json:"jobs"`       // jobs executed
+	Ops       int64 `json:"ops"`        // arithmetic operations charged (sim)
+	MemCycles int64 `json:"mem_cycles"` // memory latency cycles charged (sim)
+}
+
+// SchedStats aggregates the real backend's work-stealing scheduler
+// actions, merged from the per-worker shards when the run stops.
+type SchedStats struct {
+	// StealAttempts counts scans for remote work (a worker's own deque
+	// came up empty).
+	StealAttempts int64 `json:"steal_attempts"`
+	// Steals counts jobs actually taken from another worker's deque.
+	Steals int64 `json:"steals"`
+	// GlobalPops counts jobs taken from the global overflow queue.
+	GlobalPops int64 `json:"global_pops"`
+	// Parks counts workers blocking because no work was runnable.
+	Parks int64 `json:"parks"`
+	// Wakes counts idle workers unparked by a job push.
+	Wakes int64 `json:"wakes"`
 }
 
 // Report summarises one App.Run.
@@ -43,6 +60,8 @@ type Report struct {
 	ReconfigStall int64
 	// EventsEmitted counts events pushed to queues during the run.
 	EventsEmitted int64
+	// Sched holds the work-stealing scheduler counters (real backend).
+	Sched SchedStats
 }
 
 // CyclesPerIteration returns the average virtual cost of one iteration.
@@ -78,6 +97,13 @@ func (r *Report) String() string {
 	if r.Reconfigs > 0 {
 		fmt.Fprintf(&b, " reconfigs=%d stall=%d", r.Reconfigs, r.ReconfigStall)
 	}
+	if r.EventsEmitted > 0 {
+		fmt.Fprintf(&b, " events=%d", r.EventsEmitted)
+	}
+	if r.Sched != (SchedStats{}) {
+		fmt.Fprintf(&b, " steals=%d/%d global=%d parks=%d wakes=%d",
+			r.Sched.Steals, r.Sched.StealAttempts, r.Sched.GlobalPops, r.Sched.Parks, r.Sched.Wakes)
+	}
 	if r.Cache != (spacecake.Stats{}) {
 		fmt.Fprintf(&b, " L1miss=%.1f%% L2miss=%d", 100*r.Cache.L1MissRate(), r.Cache.L2Misses)
 	}
@@ -91,6 +117,59 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "\n  %-14s jobs=%-6d ops=%-12d mem=%d", c, s.Jobs, s.Ops, s.MemCycles)
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the report with stable snake_case keys plus the
+// derived figures (cycles per iteration, utilisation) the paper's
+// tables quote, so `-report json` output feeds scripts directly.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type cacheJSON struct {
+		L1Hits        int64 `json:"l1_hits"`
+		L1Misses      int64 `json:"l1_misses"`
+		L2Hits        int64 `json:"l2_hits"`
+		L2Misses      int64 `json:"l2_misses"`
+		MemCycles     int64 `json:"mem_cycles"`
+		StreamedLines int64 `json:"streamed_lines"`
+	}
+	type reportJSON struct {
+		Iterations         int                   `json:"iterations"`
+		Cycles             int64                 `json:"cycles"`
+		CyclesPerIteration float64               `json:"cycles_per_iteration"`
+		Utilisation        float64               `json:"utilisation"`
+		WallNS             int64                 `json:"wall_ns"`
+		Jobs               int64                 `json:"jobs"`
+		Cores              int                   `json:"cores"`
+		Reconfigs          int                   `json:"reconfigs"`
+		ReconfigStall      int64                 `json:"reconfig_stall"`
+		EventsEmitted      int64                 `json:"events_emitted"`
+		Sched              SchedStats            `json:"sched"`
+		Cache              cacheJSON             `json:"cache"`
+		CoreBusy           []int64               `json:"core_busy,omitempty"`
+		PerClass           map[string]ClassStats `json:"per_class"`
+	}
+	return json.Marshal(reportJSON{
+		Iterations:         r.Iterations,
+		Cycles:             r.Cycles,
+		CyclesPerIteration: r.CyclesPerIteration(),
+		Utilisation:        r.Utilisation(),
+		WallNS:             int64(r.Wall),
+		Jobs:               r.Jobs,
+		Cores:              r.Cores,
+		Reconfigs:          r.Reconfigs,
+		ReconfigStall:      r.ReconfigStall,
+		EventsEmitted:      r.EventsEmitted,
+		Sched:              r.Sched,
+		Cache: cacheJSON{
+			L1Hits:        r.Cache.L1Hits,
+			L1Misses:      r.Cache.L1Misses,
+			L2Hits:        r.Cache.L2Hits,
+			L2Misses:      r.Cache.L2Misses,
+			MemCycles:     r.Cache.MemCyclesTotal,
+			StreamedLines: r.Cache.StreamedLines,
+		},
+		CoreBusy: r.CoreBusy,
+		PerClass: r.PerClass,
+	})
 }
 
 // metrics collects counters during a run; atomic so the real backend's

@@ -16,6 +16,12 @@ import (
 func (e *engine) runReal() (*Report, error) {
 	start := time.Now()
 	e.ws = newSched(e.app.cfg.Cores, len(e.app.plan.Tasks), e.hooks)
+	e.trStart = start
+	if e.tr != nil {
+		e.ws.tr = e.tr
+		e.ws.trStart = start
+		e.tr.Begin(e.traceMeta(true))
+	}
 
 	e.mu.Lock()
 	e.launch(nil)
@@ -31,9 +37,17 @@ func (e *engine) runReal() (*Report, error) {
 	}
 	wg.Wait()
 
-	// Fold the per-worker metric shards into the engine totals.
+	// Fold the per-worker metric shards into the engine totals. All
+	// shard counters merge here — dropping one on the floor means the
+	// Report silently lies about scheduler behaviour.
+	var ss SchedStats
 	for _, w := range e.ws.workers {
 		e.app.metrics.jobs.Add(w.jobs)
+		ss.Steals += w.steals
+		ss.StealAttempts += w.stealAttempts
+		ss.GlobalPops += w.globalPops
+		ss.Parks += w.parks
+		ss.Wakes += w.wakes
 		for _, t := range e.app.plan.Tasks {
 			cs := &w.stats[t.ID]
 			if cs.Jobs == 0 && cs.Ops == 0 && cs.MemCycles == 0 {
@@ -45,11 +59,16 @@ func (e *engine) runReal() (*Report, error) {
 			dst.MemCycles += cs.MemCycles
 		}
 	}
+	ss.Wakes += e.ws.extWakes.Load()
+	if e.tr != nil {
+		e.tr.End()
+	}
 	if e.err != nil {
 		return nil, e.err
 	}
 	rep := e.report()
 	rep.Wall = time.Since(start)
+	rep.Sched = ss
 	return rep, nil
 }
 
@@ -114,6 +133,7 @@ func (e *engine) execReal(w *wsWorker, j job) {
 		}
 		if e.skipExecution(j) {
 			e.mu.Unlock()
+			e.traceSkip(w, j)
 			e.finishReal(w, j)
 			return
 		}
@@ -125,6 +145,9 @@ func (e *engine) execReal(w *wsWorker, j job) {
 		if err != nil {
 			e.failReal(err)
 			return
+		}
+		if e.tr != nil {
+			e.traceSpan(w, j)
 		}
 		e.finishReal(w, j)
 		return
@@ -146,6 +169,7 @@ func (e *engine) execReal(w *wsWorker, j job) {
 		}
 		if e.skipExecution(j) {
 			e.mu.Unlock()
+			e.traceSkip(w, j)
 			e.finishReal(w, j)
 			return
 		}
@@ -166,6 +190,9 @@ func (e *engine) execReal(w *wsWorker, j job) {
 	w.jobs++
 	w.stats[j.task.ID].Jobs++
 	runErr := e.executeComponent(&w.rc, j, inst, false)
+	if e.tr != nil {
+		e.traceSpan(w, j)
+	}
 	if runErr != nil {
 		e.mu.Lock()
 		e.handleRunError(j, runErr)
@@ -179,6 +206,31 @@ func (e *engine) execReal(w *wsWorker, j job) {
 		// completes so the pipeline drains.
 	}
 	e.finishReal(w, j)
+}
+
+// traceSpan emits the span of w's just-executed job: the start is the
+// worker's cached previous timestamp, the end is the one fresh clock
+// read made per executed job (which becomes the new cache, so every
+// secondary event this job produces reuses it). Call only with a
+// tracer attached.
+func (e *engine) traceSpan(w *wsWorker, j job) {
+	t0 := w.lastTS
+	w.lastTS = int64(time.Since(e.trStart))
+	e.tr.Emit(w.id+1, TraceEvent{
+		TS: t0, Arg: w.lastTS - t0, Kind: TraceJobSpan,
+		Worker: int32(w.id), Iter: int32(j.iter), ID: int32(j.task.ID),
+	})
+}
+
+// traceSkip records a zero-cost no-op job without reading the clock.
+func (e *engine) traceSkip(w *wsWorker, j job) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.Emit(w.id+1, TraceEvent{
+		TS: w.lastTS, Kind: TraceJobSkip,
+		Worker: int32(w.id), Iter: int32(j.iter), ID: int32(j.task.ID),
+	})
 }
 
 // finishReal retires a job through complete(). Errors surfacing from

@@ -3,6 +3,7 @@ package hinch
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the real backend's work-stealing dispatch layer.
@@ -93,6 +94,19 @@ type wsWorker struct {
 	jobs  int64
 	stats []ClassStats // per-task-ID shard, merged by class at run end
 	rc    RunContext   // reusable run context for this worker's jobs
+
+	// Scheduler action counters, folded into Report.Sched at run end.
+	stealAttempts int64 // calls to sched.steal (local deque was empty)
+	steals        int64 // jobs taken from another worker's deque
+	globalPops    int64 // jobs taken from the global overflow queue
+	parks         int64 // times this worker blocked waiting for work
+	wakes         int64 // idle workers this worker unparked
+
+	// lastTS is the worker's cached trace timestamp: the end of its
+	// last executed job (refreshed also after a steal hit or unpark).
+	// Only maintained while a tracer is attached; secondary trace
+	// events reuse it instead of reading the clock.
+	lastTS int64
 }
 
 // nextRand is a xorshift64 step — victim order only needs to be cheap
@@ -124,6 +138,10 @@ type sched struct {
 	idle   []*wsWorker
 	nidle  atomic.Int32
 	done   atomic.Bool
+
+	tr       Tracer       // flight recorder; nil in production
+	trStart  time.Time    // trace timestamps count from this instant
+	extWakes atomic.Int64 // wakes performed outside any worker context
 }
 
 func newSched(n, nTasks int, hooks TestHooks) *sched {
@@ -144,6 +162,7 @@ func newSched(n, nTasks int, hooks TestHooks) *sched {
 			rng:   seed,
 			stats: make([]ClassStats, nTasks),
 		}
+		s.workers[i].rc.shard = i + 1
 		s.workers[i].dq.buf = make([]job, 0, 64)
 	}
 	return s
@@ -168,12 +187,18 @@ func (s *sched) push(w *wsWorker, j job) {
 		s.global.push(j)
 	}
 	if s.nidle.Load() > 0 {
-		s.wakeOne()
+		if s.wakeOne() {
+			if w != nil {
+				w.wakes++
+			} else {
+				s.extWakes.Add(1)
+			}
+		}
 	}
 }
 
-// wakeOne unparks one idle worker, if any.
-func (s *sched) wakeOne() {
+// wakeOne unparks one idle worker, if any, reporting whether it did.
+func (s *sched) wakeOne() bool {
 	s.idleMu.Lock()
 	var w *wsWorker
 	if n := len(s.idle); n > 0 {
@@ -184,12 +209,15 @@ func (s *sched) wakeOne() {
 	s.idleMu.Unlock()
 	if w != nil {
 		w.park <- struct{}{} // buffered; never blocks
+		return true
 	}
+	return false
 }
 
 // steal scans the other workers (starting at a pseudo-random victim)
 // and the global queue for work.
 func (s *sched) steal(w *wsWorker) (job, bool) {
+	w.stealAttempts++
 	n := len(s.workers)
 	start := int(w.nextRand() % uint64(n))
 	for i := 0; i < n; i++ {
@@ -198,10 +226,32 @@ func (s *sched) steal(w *wsWorker) (job, bool) {
 			continue
 		}
 		if j, ok := v.dq.steal(); ok {
+			w.steals++
+			if s.tr != nil {
+				// The stolen job came from a cold deque; refresh the
+				// cached timestamp so its span starts here, not at this
+				// worker's last job.
+				w.lastTS = int64(time.Since(s.trStart))
+				s.tr.Emit(w.id+1, TraceEvent{
+					TS: w.lastTS, Kind: TraceStealHit,
+					Worker: int32(w.id), Iter: -1, ID: int32(v.id),
+				})
+			}
 			return j, true
 		}
 	}
-	return s.global.steal()
+	j, ok := s.global.steal()
+	if ok {
+		w.globalPops++
+		if s.tr != nil {
+			w.lastTS = int64(time.Since(s.trStart))
+			s.tr.Emit(w.id+1, TraceEvent{
+				TS: w.lastTS, Kind: TraceGlobalPop,
+				Worker: int32(w.id), Iter: -1, ID: -1,
+			})
+		}
+	}
+	return j, ok
 }
 
 // anyQueued reports whether any queue holds work (approximate; used
@@ -242,11 +292,32 @@ func (s *sched) park(w *wsWorker) {
 		s.nidle.Store(int32(len(s.idle)))
 		s.idleMu.Unlock()
 		if !removed {
-			<-w.park
+			s.blockPark(w)
 		}
 		return
 	}
+	s.blockPark(w)
+}
+
+// blockPark is park's blocking wait, bracketed by park/unpark trace
+// events. The post-wake refresh of the cached timestamp keeps the idle
+// gap out of the next job's span.
+func (s *sched) blockPark(w *wsWorker) {
+	w.parks++
+	if s.tr != nil {
+		s.tr.Emit(w.id+1, TraceEvent{
+			TS: int64(time.Since(s.trStart)), Kind: TracePark,
+			Worker: int32(w.id), Iter: -1, ID: -1,
+		})
+	}
 	<-w.park
+	if s.tr != nil {
+		w.lastTS = int64(time.Since(s.trStart))
+		s.tr.Emit(w.id+1, TraceEvent{
+			TS: w.lastTS, Kind: TraceUnpark,
+			Worker: int32(w.id), Iter: -1, ID: -1,
+		})
+	}
 }
 
 // finish stops the run: all parked workers are woken and the done flag

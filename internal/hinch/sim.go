@@ -12,7 +12,9 @@ import (
 type completion struct {
 	at     int64 // virtual time the event fires
 	seq    int64 // tie-breaker for determinism
+	start  int64 // virtual time the job was dispatched (trace span start)
 	core   int   // core freed by the event; -1 for reconfiguration resumes
+	ran    bool  // the job actually executed (not a zero-cost skip)
 	j      job
 	resume []job // parked jobs released after a reconfiguration stall
 }
@@ -48,6 +50,10 @@ func (e *engine) runSim() (*Report, error) {
 	var clock, seq int64
 	var pending completionHeap
 
+	if e.tr != nil {
+		e.tr.Begin(e.traceMeta(false))
+		defer e.tr.End()
+	}
 	e.launch(nil)
 	for {
 		// Dispatch ready jobs onto idle cores in FIFO order, lowest core
@@ -67,12 +73,12 @@ func (e *engine) runSim() (*Report, error) {
 			}
 			idle[core] = false
 			nIdle--
-			dur, err := e.execJobSim(j, core)
+			dur, ran, err := e.execJobSim(j, core)
 			if err != nil {
 				return nil, err
 			}
 			seq++
-			heap.Push(&pending, completion{at: clock + dur, seq: seq, core: core, j: j})
+			heap.Push(&pending, completion{at: clock + dur, seq: seq, start: clock, core: core, ran: ran, j: j})
 			busy[core] += dur
 		}
 		if len(pending) == 0 {
@@ -83,6 +89,7 @@ func (e *engine) runSim() (*Report, error) {
 		}
 		c := heap.Pop(&pending).(completion)
 		clock = c.at
+		e.simNow = clock
 		if c.core < 0 {
 			// A reconfiguration stall elapsed: the manager's subgraph
 			// resumes and the parked iterations may enter it.
@@ -93,6 +100,12 @@ func (e *engine) runSim() (*Report, error) {
 		}
 		idle[c.core] = true
 		nIdle++
+		if e.tr != nil && c.ran {
+			e.tr.Emit(0, TraceEvent{
+				TS: c.start, Arg: c.at - c.start, Kind: TraceJobSpan,
+				Worker: int32(c.core), Iter: int32(c.j.iter), ID: int32(c.j.task.ID),
+			})
+		}
 		res, err := e.complete(c.j, nil)
 		if err != nil {
 			return nil, err
@@ -115,13 +128,20 @@ func (e *engine) runSim() (*Report, error) {
 // execJobSim executes one job immediately and returns its virtual
 // duration in cycles: runtime overhead + compute (charged ops) + memory
 // latency (the job's recorded accesses run through the cache model on
-// its core).
-func (e *engine) execJobSim(j job, core int) (int64, error) {
+// its core). ran reports whether the job actually executed rather than
+// skipping as a zero-cost no-op.
+func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 	a := e.app
 	if e.skipExecution(j) {
 		// Cancelled iteration or disabled option: a zero-cost no-op
 		// that only moves the dependency machinery forward.
-		return 0, nil
+		if e.tr != nil {
+			e.tr.Emit(0, TraceEvent{
+				TS: e.simNow, Kind: TraceJobSkip,
+				Worker: int32(core), Iter: int32(j.iter), ID: int32(j.task.ID),
+			})
+		}
+		return 0, false, nil
 	}
 	cost := a.tile.Config().JobOverheadCycles
 	cs := e.classStats(j.task)
@@ -132,22 +152,22 @@ func (e *engine) execJobSim(j job, core int) (int64, error) {
 	case graph.RoleManagerEntry, graph.RoleManagerExit:
 		ops, err := e.managerPoll(j)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		cs.Ops += ops
-		return cost + ops, nil
+		return cost + ops, true, nil
 
 	case graph.RoleComponent:
 		inst, err := e.resolveInstance(j)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		rc := &e.simRC
 		err = e.executeComponent(rc, j, inst, true)
 		if err != nil {
 			e.handleRunError(j, err)
 			if e.err != nil {
-				return 0, e.err
+				return 0, false, e.err
 			}
 			// EOS: the job still completes; dependents of this cancelled
 			// iteration run as no-ops while the pipeline drains.
@@ -161,7 +181,7 @@ func (e *engine) execJobSim(j job, core int) (int64, error) {
 		}
 		cs.Ops += rc.compute
 		cs.MemCycles += mem
-		return cost + rc.compute + mem, nil
+		return cost + rc.compute + mem, true, nil
 	}
-	return 0, fmt.Errorf("hinch: unknown task role %v", j.task.Role)
+	return 0, false, fmt.Errorf("hinch: unknown task role %v", j.task.Role)
 }

@@ -31,9 +31,15 @@ import (
 type Stream struct {
 	name  string
 	decl  graph.StreamDecl
+	idx   int // position in App.streamList; TraceEvent.ID for this stream
 	depth int
 	addr  *spacecake.AddressSpace
 	pool  []*slot // free buffers, most recently released last
+
+	// hw is the occupancy high-water mark: the most iterations that
+	// ever held this stream's buffers at once. Updated under the
+	// engine lock in acquire.
+	hw int
 
 	// active maps in-flight iterations to their buffers as a ring of
 	// atomic pointers indexed by iteration modulo len(active). The
@@ -145,6 +151,9 @@ func (s *Stream) acquire(iter int) {
 		sl = s.newSlot()
 	}
 	s.nactive++
+	if s.nactive > s.hw {
+		s.hw = s.nactive
+	}
 	var w *streamSlot
 	if n := len(s.wrapFree); n > 0 {
 		w = s.wrapFree[n-1]
@@ -189,6 +198,10 @@ func (s *Stream) Decl() graph.StreamDecl { return s.decl }
 // BuffersAllocated reports how many distinct buffers the pool grew to —
 // the actual iteration overlap the scheduler produced.
 func (s *Stream) BuffersAllocated() int { return s.allocd }
+
+// HighWater reports the occupancy high-water mark: the most iterations
+// that ever held this stream's buffers simultaneously.
+func (s *Stream) HighWater() int { return s.hw }
 
 // FramePlaneRegion returns the simulated region covering rows [r0, r1)
 // of the given plane within a frame stream slot region. The frame

@@ -8,7 +8,9 @@
 #     deterministic sim backend.
 #   - Scheduler benches: BenchmarkSchedulerThroughput (root) and
 #     BenchmarkSimSchedule/BenchmarkRealSchedule (internal/hinch), run
-#     at -cpu 1,4,8 to show work-stealing scaling.
+#     at -cpu 1,4,8 to show work-stealing scaling, plus
+#     BenchmarkTraceOverhead (flight-recorder cost: nil vs ring tracer
+#     on the scheduler-bound workload).
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
 #
@@ -64,6 +66,7 @@ run_bench() { # run_bench <package> <bench regex> [extra go test args...]
 
 run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig10Reconfiguration'
 run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
+run_bench ./ 'BenchmarkTraceOverhead' -benchmem
 run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
 run_bench ./internal/kernels/ '.' -benchmem
 

@@ -34,7 +34,7 @@ smoke)
   # conformance_test.go includes seeds that reproduce every scheduler
   # bug the harness has caught so far.
   go test ./internal/conformance/ -race -count=1 \
-    -run 'TestConformanceSmoke|TestGeneratedProgramsValid|TestOracleMatchesSim'
+    -run 'TestConformanceSmoke|TestConformanceTracedSmoke|TestGeneratedProgramsValid|TestOracleMatchesSim'
   ;;
 long)
   COUNT="${CONFORMANCE_COUNT:-300}"
