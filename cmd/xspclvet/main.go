@@ -1,0 +1,142 @@
+// Command xspclvet is the whole-program static analyzer for XSPCL
+// specifications. It elaborates each input, enumerates every reachable
+// option configuration, and reports deadlock, buffer-sizing,
+// reconfiguration-safety and event-binding diagnoses (see
+// internal/analysis and DESIGN.md §9).
+//
+//	xspclvet app.xml another.xml     analyze specification files
+//	xspclvet -builtin JPiP-45        analyze a built-in paper app
+//	xspclvet -all                    analyze every built-in app
+//	xspclvet -json app.xml           machine-readable report
+//	xspclvet -sizing app.xml         include the buffer-sizing table
+//	xspclvet -Wno-bindings app.xml   suppress one pass
+//	xspclvet -Werror app.xml         warnings fail the build too
+//
+// Exit status is 1 when any input has error findings (or warnings
+// under -Werror), 2 on usage or load failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"xspcl/internal/analysis"
+	"xspcl/internal/apps"
+	"xspcl/internal/components"
+	"xspcl/internal/graph"
+	"xspcl/internal/xspcl"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "analyze a built-in paper application (e.g. JPiP-45) instead of a file")
+	all := flag.Bool("all", false, "analyze every built-in paper application")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	sizing := flag.Bool("sizing", false, "print the buffer-sizing table")
+	depth := flag.Int("depth", analysis.DefaultDepth, "FIFO depth assumed for streams without a declared depth")
+	overlap := flag.Int("overlap", analysis.DefaultOverlap, "iteration overlap the sizing pass preserves")
+	werror := flag.Bool("Werror", false, "treat warnings as errors")
+	wno := map[string]*bool{}
+	for _, pass := range analysis.Passes {
+		wno[pass] = flag.Bool("Wno-"+pass, false, "disable the "+pass+" pass")
+	}
+	flag.Parse()
+
+	disable := map[string]bool{}
+	for pass, off := range wno {
+		if *off {
+			disable[pass] = true
+		}
+	}
+	opt := analysis.Options{
+		Catalog:      components.DefaultRegistry(),
+		DefaultDepth: *depth,
+		Overlap:      *overlap,
+		Disable:      disable,
+	}
+
+	inputs, err := collect(*builtin, *all, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	var reports []*analysis.Report
+	for _, in := range inputs {
+		rep, err := analysis.Analyze(in.prog, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", in.name, err)
+			os.Exit(2)
+		}
+		rep.Program = in.name
+		reports = append(reports, rep)
+		if !*jsonOut {
+			analysis.Render(os.Stdout, rep)
+			if *sizing {
+				analysis.RenderSizing(os.Stdout, rep)
+			}
+		}
+		if rep.Failed(*werror) {
+			failed = true
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type input struct {
+	name string
+	prog *graph.Program
+}
+
+// collect resolves the inputs: -all, -builtin, or spec files.
+func collect(builtin string, all bool, args []string) ([]input, error) {
+	var ins []input
+	if all {
+		for _, v := range apps.Variants() {
+			prog, err := v.Program()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", v.Name, err)
+			}
+			ins = append(ins, input{v.Name, prog})
+		}
+		return ins, nil
+	}
+	if builtin != "" {
+		v, err := apps.VariantByName(builtin)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := v.Program()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", builtin, err)
+		}
+		return []input{{builtin, prog}}, nil
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: xspclvet [flags] <spec.xml>... (or -builtin <name>, or -all)")
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := xspcl.Load(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ins = append(ins, input{path, prog})
+	}
+	return ins, nil
+}

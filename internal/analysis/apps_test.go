@@ -1,0 +1,63 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"xspcl/internal/analysis"
+	"xspcl/internal/apps"
+	"xspcl/internal/components"
+)
+
+// TestAppsClean is the analyzer's acceptance gate on the paper's
+// applications: every built-in variant (PiP, JPiP, Blur, static and
+// reconfigurable) must come out of all four passes with zero errors and
+// zero warnings, and with a sizing entry for every live stream.
+func TestAppsClean(t *testing.T) {
+	for _, v := range apps.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, err := v.Program()
+			if err != nil {
+				t.Fatalf("Program: %v", err)
+			}
+			rep, err := analysis.Analyze(prog, analysis.Options{Catalog: components.DefaultRegistry()})
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			for _, f := range rep.Findings {
+				if f.Severity >= analysis.Warning {
+					t.Errorf("%s: %s [%s] %s", v.Name, f.Severity, f.Pass, f.Message)
+				}
+			}
+			if len(rep.Sizing) == 0 {
+				t.Fatalf("%s: empty sizing report", v.Name)
+			}
+			t.Logf("%s: %d configurations, %d sizing entries, %d infos",
+				v.Name, rep.Configs, len(rep.Sizing), rep.Count(analysis.Info))
+		})
+	}
+}
+
+// BenchmarkAnalyze records the analyzer's wall time on every app
+// variant; scripts/bench.sh folds these into BENCH_results.json so
+// analyzer cost stays visible in the perf trajectory.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, v := range apps.Variants() {
+		v := v
+		prog, err := v.Program()
+		if err != nil {
+			b.Fatalf("%s: %v", v.Name, err)
+		}
+		b.Run(v.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := analysis.Analyze(prog, analysis.Options{Catalog: components.DefaultRegistry()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.HasErrors() {
+					b.Fatal("unexpected errors")
+				}
+			}
+		})
+	}
+}

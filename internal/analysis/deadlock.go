@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"xspcl/internal/graph"
+)
+
+// The deadlock pass checks the two ways a program can wedge the
+// per-stream bounded-FIFO realization of the paper's semantics. The
+// plan's dependency order comes from the TREE (sequential position,
+// parallel shape), not from port matching, so the language happily
+// expresses a component that reads a stream whose only producers are
+// ordered after it — a blocking read that can never be satisfied —
+// and a crossdep consumer that peeks a slice window wider than the
+// FIFO it peeks into. Feed-forward level skew, by contrast, only
+// throttles throughput (a blocking-FIFO network whose every buffer
+// holds >= 1 element is live — the marked-graph argument in DESIGN.md
+// §9), so it is the sizing pass's business, not a deadlock.
+
+// deadlock runs the per-configuration wait-cycle checks and the
+// structural crossdep capacity rule.
+func (a *analyzer) deadlock() {
+	for _, ci := range a.infos {
+		a.waitCycles(ci)
+	}
+	a.crossdepWindows()
+}
+
+// waitCycles flags streams whose readers can never be satisfied in one
+// configuration: no writer at all (a producer disabled away with its
+// consumer left behind), or every producer ordered strictly after the
+// reader.
+func (a *analyzer) waitCycles(ci *cfgInfo) {
+	for _, decl := range a.prog.Streams {
+		s := decl.Name
+		readers := ci.readers[s]
+		writers := ci.writers[s]
+		if len(readers) == 0 {
+			continue // stream unused in this configuration
+		}
+		if len(writers) == 0 {
+			a.add(Finding{
+				Pass: PassDeadlock, Severity: Error, Stream: s, Config: ci.key,
+				Message: fmt.Sprintf("component %q blocks forever reading stream %q, which has no writer in this configuration",
+					ci.plan.Tasks[readers[0]].Name, s),
+			})
+			continue
+		}
+		for _, r := range readers {
+			others := writers[:0:0]
+			for _, w := range writers {
+				if w != r {
+					others = append(others, w)
+				}
+			}
+			if len(others) == 0 {
+				a.add(Finding{
+					Pass: PassDeadlock, Severity: Warning, Stream: s, Config: ci.key,
+					Message: fmt.Sprintf("component %q reads stream %q but is also its only writer (no upstream producer)",
+						ci.plan.Tasks[r].Name, s),
+				})
+				continue
+			}
+			// A producer that is ordered before the reader, or unordered
+			// with it (parallel copies writing disjoint bands), can
+			// satisfy the read. Only "every producer strictly after the
+			// reader" is a wait cycle.
+			allAfter := true
+			for _, w := range others {
+				if !ci.after(r, w) {
+					allAfter = false
+					break
+				}
+			}
+			if !allAfter {
+				continue
+			}
+			w0 := others[0]
+			rt, wt := ci.plan.Tasks[r], ci.plan.Tasks[w0]
+			path := ci.depPath(r, w0)
+			a.add(Finding{
+				Pass: PassDeadlock, Severity: Error, Stream: s, Config: ci.key,
+				Message: fmt.Sprintf("component %q blocks reading stream %q whose every writer runs after it (read-before-write wait cycle)",
+					rt.Name, s),
+				Cycle: []string{
+					fmt.Sprintf("%s waits for data on stream %s", rt.Name, s),
+					fmt.Sprintf("%s is produced by %s", s, wt.Name),
+					fmt.Sprintf("%s waits for the task order %s", wt.Name, strings.Join(path, " -> ")),
+				},
+			})
+		}
+	}
+}
+
+// crossdepFloors returns, for every stream carried between consecutive
+// crossdep blocks, the slice-window depth the capacity rule demands.
+func (a *analyzer) crossdepFloors() map[string]int {
+	floors := map[string]int{}
+	graph.Walk(a.prog.Root, func(n *graph.Node) {
+		if n.Kind != graph.KindPar || n.Shape != graph.ShapeCrossdep || n.N < 2 {
+			return
+		}
+		window := 3
+		if n.N < window {
+			window = n.N
+		}
+		prev := map[string]bool{}
+		for bi, blk := range n.Children {
+			reads := map[string]bool{}
+			writes := map[string]bool{}
+			graph.Walk(blk, func(c *graph.Node) {
+				if c.Kind != graph.KindComponent {
+					return
+				}
+				d := a.dirs[c.Class]
+				for port, stream := range c.Ports {
+					if d.in[port] {
+						reads[stream] = true
+					}
+					if d.out[port] {
+						writes[stream] = true
+					}
+				}
+			})
+			if bi > 0 {
+				for s := range reads {
+					if prev[s] && window > floors[s] {
+						floors[s] = window
+					}
+				}
+			}
+			prev = writes
+		}
+	})
+	return floors
+}
+
+// crossdepWindows enforces the capacity rule on crossdep groups: copy
+// (block b, slice i) consumes the outputs of copies (b-1, i-1..i+1), so
+// in a slice-ordered FIFO the consumer holds a window of min(3, n)
+// elements while later producers still push — the stream's depth must
+// cover the window or producer and consumer deadlock against the full
+// FIFO. The check is structural (the window does not depend on option
+// states), and the fix is the minimal depth that makes the window fit.
+func (a *analyzer) crossdepWindows() {
+	graph.Walk(a.prog.Root, func(n *graph.Node) {
+		if n.Kind != graph.KindPar || n.Shape != graph.ShapeCrossdep || n.N < 2 {
+			return
+		}
+		window := 3
+		if n.N < window {
+			window = n.N
+		}
+		prev := map[string]string{} // stream -> producing component of the previous block
+		for bi, blk := range n.Children {
+			reads := map[string]string{}  // stream -> reading component
+			writes := map[string]string{} // stream -> writing component
+			graph.Walk(blk, func(c *graph.Node) {
+				if c.Kind != graph.KindComponent {
+					return
+				}
+				d := a.dirs[c.Class]
+				for port, stream := range c.Ports {
+					if d.in[port] {
+						reads[stream] = c.Name
+					}
+					if d.out[port] {
+						writes[stream] = c.Name
+					}
+				}
+			})
+			if bi > 0 {
+				for s, consumer := range reads {
+					producer, ok := prev[s]
+					if !ok {
+						continue
+					}
+					depth := a.effDepth(s)
+					if depth >= window {
+						continue
+					}
+					a.add(Finding{
+						Pass: PassDeadlock, Severity: Error, Stream: s,
+						Message: fmt.Sprintf("crossdep group (n=%d) needs FIFO depth >= %d on stream %q but its effective depth is %d",
+							n.N, window, s, depth),
+						Cycle: []string{
+							fmt.Sprintf("%s#1 peeks the slice window %s#0..%s#2 of stream %s (%d elements)",
+								consumer, producer, producer, s, window),
+							fmt.Sprintf("%s#%d cannot push: stream %s is full at depth %d",
+								producer, depth, s, depth),
+							fmt.Sprintf("%s#1 keeps waiting for element %d of its window", consumer, window-1),
+						},
+						Fix: &CapacityFix{Stream: s, Depth: window},
+					})
+				}
+			}
+			prev = writes
+		}
+	})
+}

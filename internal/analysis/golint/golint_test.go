@@ -1,0 +1,194 @@
+package golint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// load parses one synthetic source file.
+func load(t *testing.T, src string) *Pkg {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFiles([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// expect runs every check and matches the findings against fragments.
+func expect(t *testing.T, src string, want ...string) {
+	t.Helper()
+	diags := Run(load(t, src))
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].String(), w) {
+			t.Errorf("finding %d = %q, want fragment %q", i, diags[i], w)
+		}
+	}
+}
+
+func TestNilguard(t *testing.T) {
+	// Unguarded call through an optional field (the literal 0 also
+	// trips traceshard).
+	expect(t, `package p
+func f(e *E) { e.tr.Emit(0, ev) }
+`, "nilguard: call e.tr.Emit without", "traceshard")
+
+	// Guarded by an enclosing if.
+	expect(t, `package p
+func f(e *E) {
+	if e.tr != nil {
+		e.tr.Emit(0, ev)
+	}
+}
+`, "traceshard") // nilguard passes; the literal-0 finding remains
+
+	// Early-return guard covers the rest of the function.
+	expect(t, `package p
+func f(e *E) {
+	if e.hooks == nil {
+		return
+	}
+	e.hooks.Yield(pt)
+}
+`)
+
+	// The compound init-and-check idiom from RunContext.Emit.
+	expect(t, `package p
+func f(rc *RC) {
+	if e := rc.app.eng; e != nil && e.tr != nil {
+		e.tr.Emit(rc.shard, ev)
+	}
+}
+`)
+
+	// A guard on a different path does not leak into the else branch.
+	expect(t, `package p
+func f(e *E) {
+	if e.tr != nil {
+		_ = 1
+	} else {
+		e.tr.Emit(w.id+1, ev)
+	}
+}
+`, "nilguard: call e.tr.Emit without")
+
+	// Guards do not survive into sibling functions.
+	expect(t, `package p
+func g(e *E) {
+	if e.tr != nil {
+		_ = 1
+	}
+}
+func h(e *E) { e.tr.Emit(w.id+1, ev) }
+`, "nilguard: call e.tr.Emit without")
+}
+
+func TestTraceshard(t *testing.T) {
+	// Worker-shard idioms are accepted.
+	expect(t, `package p
+func f(e *E, w *W) {
+	if e.tr != nil {
+		e.tr.Emit(traceShard(w), ev)
+		e.tr.Emit(w.id+1, ev)
+	}
+}
+func g(rc *RC) {
+	if rc.tr != nil {
+		rc.tr.Emit(rc.shard, ev)
+	}
+}
+`)
+
+	// Literal 0 needs the //hinch:locked directive.
+	expect(t, `package p
+func f(e *E) {
+	if e.tr != nil {
+		e.tr.Emit(0, ev)
+	}
+}
+`, "traceshard: e.tr.Emit shard argument is the engine shard 0 outside")
+	expect(t, `package p
+// f is serialised.
+//
+//hinch:locked
+func f(e *E) {
+	if e.tr != nil {
+		e.tr.Emit(0, ev)
+	}
+}
+`)
+
+	// Arbitrary shard expressions are rejected.
+	expect(t, `package p
+//hinch:locked
+func f(e *E, i int) {
+	if e.tr != nil {
+		e.tr.Emit(i, ev)
+	}
+}
+`, "is not a recognised shard expression")
+
+	// Non-tracer Emit methods (the event queue) are not constrained.
+	expect(t, `package p
+func f(rc *RC) { rc.Emit("ui", ev) }
+func g(q *Q) { q.parent.Emit(0, ev) }
+`)
+}
+
+func TestLockdiscipline(t *testing.T) {
+	// A locked function re-taking mu.
+	expect(t, `package p
+// f does things. Must be called with mu held.
+func (e *E) f() { e.mu.Lock() }
+`, "lockdiscipline: f takes e.mu")
+
+	// A locked function calling a WITHOUT-mu function.
+	expect(t, `package p
+// f frobs. Must be called with mu held.
+func (e *E) f() { e.g() }
+
+// g must be called WITHOUT mu held.
+func (e *E) g() {}
+`, "lockdiscipline: f (documented")
+
+	// Doc rewrapping across lines still matches.
+	expect(t, `package p
+// f has a long doc comment so the phrase Must be called with
+// mu held wraps across lines.
+func (e *E) f() { e.mu.Lock() }
+`, "lockdiscipline: f takes e.mu")
+
+	// Locking a different mutex is fine.
+	expect(t, `package p
+// f locks an instance. Must be called with mu held.
+func (e *E) f(in *I) { in.mu.Lock() }
+`)
+}
+
+// TestHinchClean pins the checks to the tree: the hinch runtime (and
+// its trace package) must satisfy every invariant. This is the test
+// that makes the conventions load-bearing rather than aspirational.
+func TestHinchClean(t *testing.T) {
+	_, thisFile, _, _ := runtime.Caller(0)
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..", "..")
+	for _, dir := range []string{"internal/hinch", "internal/hinch/trace"} {
+		diags, err := RunDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+
+	"xspcl/internal/graph"
+)
+
+// The reconfig pass checks that the reconfiguration machinery can do
+// what the tree promises. Binding targets outside a manager's subtree
+// are already structural validation errors (graph.Validate); what
+// remains statically decidable here is reachability — an option whose
+// subgraph no binding sequence can ever switch on is dead weight — and
+// quiescence: when a manager halts its subgraph to splice a new
+// configuration, no task outside the halt scope may still be writing a
+// stream the scope touches, or the halted subgraph observes a producer
+// that did not drain.
+
+// reconfig runs option reachability and halt-scope quiescence.
+func (a *analyzer) reconfig() {
+	a.optionReachability()
+	for _, ci := range a.infos {
+		a.quiescence(ci)
+	}
+}
+
+// optionReachability flags options that are disabled in every reachable
+// configuration: their subgraph can never execute.
+func (a *analyzer) optionReachability() {
+	everOn := map[string]bool{}
+	for _, ci := range a.infos {
+		for name, on := range ci.cfg.Enabled {
+			if on {
+				everOn[name] = true
+			}
+		}
+	}
+	for name, deflt := range a.prog.Options() {
+		if everOn[name] {
+			continue
+		}
+		_ = deflt // deflt is necessarily false here: a default-on option is on initially
+		a.add(Finding{
+			Pass: PassReconfig, Severity: Error,
+			Message: fmt.Sprintf("option %q can never be enabled: it defaults to off and no reachable binding sequence enables it",
+				name),
+		})
+	}
+}
+
+// quiescence checks one configuration's halt scopes: for every manager,
+// any outside writer of a stream the scope touches must be ordered
+// before every scope entry or after every scope exit. An unordered
+// writer can run while the manager holds the subgraph halted, so the
+// reconfiguration protocol cannot guarantee the spliced subgraph sees a
+// drained stream.
+func (a *analyzer) quiescence(ci *cfgInfo) {
+	type scope struct {
+		entries, exits []int
+		streams        map[string]bool
+	}
+	scopes := map[string]*scope{}
+	get := func(m string) *scope {
+		sc := scopes[m]
+		if sc == nil {
+			sc = &scope{streams: map[string]bool{}}
+			scopes[m] = sc
+		}
+		return sc
+	}
+	inScope := map[string]map[int]bool{} // manager -> task set
+	for _, t := range ci.plan.Tasks {
+		switch t.Role {
+		case graph.RoleManagerEntry:
+			get(t.Manager).entries = append(get(t.Manager).entries, t.ID)
+		case graph.RoleManagerExit:
+			get(t.Manager).exits = append(get(t.Manager).exits, t.ID)
+		case graph.RoleComponent:
+			for _, m := range t.Scope {
+				sc := get(m)
+				for _, stream := range t.Ports {
+					sc.streams[stream] = true
+				}
+				if inScope[m] == nil {
+					inScope[m] = map[int]bool{}
+				}
+				inScope[m][t.ID] = true
+			}
+		}
+	}
+	for _, m := range a.prog.Managers() {
+		sc := scopes[m.Name]
+		if sc == nil {
+			continue
+		}
+		for _, t := range ci.plan.Tasks {
+			if t.Role != graph.RoleComponent || inScope[m.Name][t.ID] {
+				continue
+			}
+			d := a.dirs[t.Class]
+			for port, stream := range t.Ports {
+				if !d.out[port] || !sc.streams[stream] {
+					continue
+				}
+				beforeAll := true
+				for _, e := range sc.entries {
+					if !ci.after(t.ID, e) {
+						beforeAll = false
+						break
+					}
+				}
+				afterAll := true
+				for _, x := range sc.exits {
+					if !ci.after(x, t.ID) {
+						afterAll = false
+						break
+					}
+				}
+				if beforeAll || afterAll {
+					continue
+				}
+				a.add(Finding{
+					Pass: PassReconfig, Severity: Warning, Stream: stream, Config: ci.key,
+					Message: fmt.Sprintf("stream %q crosses manager %q's halt scope and is written by %q concurrently with it: the scope cannot quiesce while %q may still push",
+						stream, m.Name, t.Name, t.Name),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the human-readable finding list, one diagnosis per
+// line (with the offending cycle indented below it), in the
+// file:style\n prefix convention of go vet.
+func Render(w io.Writer, rep *Report) {
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "%s: %s: [%s] %s", rep.Program, f.Severity, f.Pass, f.Message)
+		if f.Config != "" {
+			fmt.Fprintf(w, " (configuration %s)", f.Config)
+		}
+		fmt.Fprintln(w)
+		for _, line := range f.Cycle {
+			fmt.Fprintf(w, "\t%s\n", line)
+		}
+		if f.Fix != nil {
+			fmt.Fprintf(w, "\tfix: declare stream %q with depth=%d\n", f.Fix.Stream, f.Fix.Depth)
+		}
+	}
+}
+
+// RenderSizing writes the buffer-sizing table.
+func RenderSizing(w io.Writer, rep *Report) {
+	if len(rep.Sizing) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s: buffer sizing (overlap %d):\n", rep.Program, rep.Sizing[0].Overlap)
+	for _, s := range rep.Sizing {
+		decl := fmt.Sprintf("%d", s.Declared)
+		if s.Declared == 0 {
+			decl = "default"
+		}
+		fmt.Fprintf(w, "\t%-20s declared=%-8s required=%d\n", s.Stream, decl, s.Required)
+	}
+}
+
+// Failed reports whether the findings should fail the build: any error,
+// or any warning when werror is set.
+func (r *Report) Failed(werror bool) bool {
+	if r.HasErrors() {
+		return true
+	}
+	return werror && r.Count(Warning) > 0
+}

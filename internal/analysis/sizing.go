@@ -1,0 +1,77 @@
+package analysis
+
+import "fmt"
+
+// The sizing pass infers the minimal per-stream FIFO depth that
+// preserves pipeline parallelism at the configured iteration overlap.
+// Under an ASAP schedule with W iterations in flight, task t of
+// iteration k fires at step level(t)+k, so an element of stream s is
+// live from step minLevel(writers)+k until maxLevel(users)+k: the
+// number of simultaneously live elements — the depth that avoids
+// throttling the pipeline — is the level span capped by the overlap
+// itself:
+//
+//	required(s) = min(W, maxLevel(readers ∪ writers) − minLevel(writers) + 1)
+//
+// maximised over every reachable configuration. A shallower FIFO never
+// deadlocks a feed-forward network (the deadlock pass owns the cyclic
+// cases); it only serialises iterations earlier, so these findings are
+// informational and feed xspclc -autosize.
+
+// sizing computes the report and the advisory findings. Crossdep
+// streams are floored at their slice-window depth so that a depth
+// taken from this report (xspclc -autosize) always satisfies the
+// deadlock pass's capacity rule.
+func (a *analyzer) sizing() {
+	required := a.crossdepFloors()
+	for _, ci := range a.infos {
+		for _, decl := range a.prog.Streams {
+			s := decl.Name
+			writers := ci.writers[s]
+			if len(writers) == 0 {
+				continue
+			}
+			first := ci.level[writers[0]]
+			last := first
+			for _, w := range writers {
+				if ci.level[w] < first {
+					first = ci.level[w]
+				}
+				if ci.level[w] > last {
+					last = ci.level[w]
+				}
+			}
+			for _, r := range ci.readers[s] {
+				if ci.level[r] > last {
+					last = ci.level[r]
+				}
+			}
+			need := last - first + 1
+			if need > a.opt.Overlap {
+				need = a.opt.Overlap
+			}
+			if need > required[s] {
+				required[s] = need
+			}
+		}
+	}
+	for _, decl := range a.prog.Streams {
+		need, ok := required[decl.Name]
+		if !ok {
+			continue // never written in any reachable configuration
+		}
+		a.rep.Sizing = append(a.rep.Sizing, StreamSizing{
+			Stream:   decl.Name,
+			Declared: decl.Depth,
+			Required: need,
+			Overlap:  a.opt.Overlap,
+		})
+		if eff := a.effDepth(decl.Name); need > eff {
+			a.add(Finding{
+				Pass: PassSizing, Severity: Info, Stream: decl.Name,
+				Message: fmt.Sprintf("stream %q: effective depth %d serialises the pipeline below overlap %d (full overlap needs depth %d)",
+					decl.Name, eff, a.opt.Overlap, need),
+			})
+		}
+	}
+}

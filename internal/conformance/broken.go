@@ -1,0 +1,141 @@
+package conformance
+
+import (
+	"fmt"
+
+	"xspcl/internal/graph"
+)
+
+// BreakKind selects one way GenerateBroken sabotages a generated
+// program. Each kind plants a defect the static analyzer must detect —
+// the negative half of the analyzer's conformance cross-validation
+// (the positive half is the precheck in Check: live-by-construction
+// programs must come out deadlock-free).
+type BreakKind int
+
+const (
+	// BreakReadBeforeWrite sequences a reader before its stream's only
+	// writer: a blocking read no schedule can satisfy.
+	BreakReadBeforeWrite BreakKind = iota
+	// BreakCrossdepDepth declares a crossdep-carried stream shallower
+	// than the slice window the consumer peeks.
+	BreakCrossdepDepth
+	// BreakStarvedReader leaves a reader outside an option whose writer
+	// is inside it and disabled by default: no writer in the initial
+	// configuration.
+	BreakStarvedReader
+	// BreakUnreachableOption adds a default-off option whose only
+	// binding disables it: no reachable configuration ever enables it.
+	BreakUnreachableOption
+
+	// NumBreakKinds counts the kinds (for iteration in tests).
+	NumBreakKinds
+)
+
+// String names the kind.
+func (k BreakKind) String() string {
+	switch k {
+	case BreakReadBeforeWrite:
+		return "read-before-write"
+	case BreakCrossdepDepth:
+		return "crossdep-depth"
+	case BreakStarvedReader:
+		return "starved-reader"
+	case BreakUnreachableOption:
+		return "unreachable-option"
+	}
+	return fmt.Sprintf("BreakKind(%d)", int(k))
+}
+
+// GenerateBroken builds the program for seed and then plants the given
+// defect in it. The result is still structurally valid (it passes
+// graph.Validate) but must be rejected by the analyzer; it is never
+// meant to run. The planted defect reuses the generated program's sink
+// stream, so it composes with whatever shape the seed produced.
+func GenerateBroken(seed uint64, kind BreakKind) (*Gen, error) {
+	g, err := Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	// The sink's input is a stream that every seed guarantees to exist,
+	// with a live writer upstream.
+	var spine string
+	graph.Walk(g.Prog.Root, func(n *graph.Node) {
+		if n.Kind == graph.KindComponent && n.Name == g.SinkName {
+			spine = n.Ports["in"]
+		}
+	})
+	if spine == "" {
+		return nil, fmt.Errorf("conformance: seed %d: sink %q not found", seed, g.SinkName)
+	}
+	root := g.Prog.Root
+
+	comp := func(name string, ports graph.Ports) *graph.Node {
+		return &graph.Node{Kind: graph.KindComponent, Name: name, Class: "cwork",
+			Ports: ports, Params: graph.Params{"stamp": "1"}}
+	}
+
+	switch kind {
+	case BreakReadBeforeWrite:
+		// blocked reads latebad; its only other writer (prod) is
+		// sequenced strictly after it.
+		g.Prog.Streams = append(g.Prog.Streams, graph.StreamDecl{Name: "latebad"})
+		root.Children = append(root.Children,
+			comp("blocked", graph.Ports{"in": "latebad", "out": "latebad"}),
+			comp("prod", graph.Ports{"in": spine, "out": "latebad"}))
+
+	case BreakCrossdepDepth:
+		// An in-place crossdep group over xbad with depth 1 < the
+		// 3-element slice window.
+		g.Prog.Streams = append(g.Prog.Streams, graph.StreamDecl{Name: "xbad", Depth: 1})
+		cell := func(name string) *graph.Node {
+			return &graph.Node{Kind: graph.KindComponent, Name: name, Class: "ccell",
+				Ports:  graph.Ports{"in": "xbad", "out": "xbad"},
+				Params: graph.Params{"stamp": "1", "base": "0"}}
+		}
+		group := &graph.Node{Kind: graph.KindPar, Shape: graph.ShapeCrossdep, N: 3,
+			Children: []*graph.Node{
+				{Kind: graph.KindSeq, Children: []*graph.Node{cell("xb0")}},
+				{Kind: graph.KindSeq, Children: []*graph.Node{cell("xb1")}},
+			}}
+		root.Children = append(root.Children,
+			comp("xfeed", graph.Ports{"in": spine, "out": "xbad"}),
+			group)
+
+	case BreakStarvedReader:
+		// badsink reads sbad, whose only writer sits inside a
+		// default-off option: starved in the initial configuration.
+		g.Prog.Streams = append(g.Prog.Streams, graph.StreamDecl{Name: "sbad"})
+		g.Prog.Queues = append(g.Prog.Queues, "qbad")
+		mgr := &graph.Node{Kind: graph.KindManager, Name: "mbad", Queue: "qbad",
+			Bindings: []graph.EventBinding{graph.On("ebad", graph.ActionEnable, "obad")},
+			Children: []*graph.Node{
+				{Kind: graph.KindOption, Name: "obad", DefaultOn: false, Children: []*graph.Node{
+					comp("wbad", graph.Ports{"in": spine, "out": "sbad"}),
+				}},
+			}}
+		root.Children = append(root.Children, mgr,
+			&graph.Node{Kind: graph.KindComponent, Name: "badsink", Class: "csink",
+				Ports: graph.Ports{"in": "sbad"}})
+
+	case BreakUnreachableOption:
+		// onever is off by default and its only binding disables it.
+		g.Prog.Queues = append(g.Prog.Queues, "qnever")
+		mgr := &graph.Node{Kind: graph.KindManager, Name: "mnever", Queue: "qnever",
+			Bindings: []graph.EventBinding{graph.On("enever", graph.ActionDisable, "onever")},
+			Children: []*graph.Node{
+				{Kind: graph.KindOption, Name: "onever", DefaultOn: false, Children: []*graph.Node{
+					comp("wnever", graph.Ports{"in": spine, "out": spine}),
+				}},
+			}}
+		root.Children = append(root.Children, mgr)
+
+	default:
+		return nil, fmt.Errorf("conformance: unknown break kind %d", int(kind))
+	}
+
+	if err := g.Prog.Validate(Registry()); err != nil {
+		return nil, fmt.Errorf("conformance: seed %d (%s): broken program is structurally invalid: %w", seed, kind, err)
+	}
+	return g, nil
+}

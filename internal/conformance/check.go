@@ -2,13 +2,12 @@ package conformance
 
 import (
 	"fmt"
-	"math/bits"
 	"runtime"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"xspcl/internal/analysis"
 	"xspcl/internal/graph"
 	"xspcl/internal/hinch"
 	"xspcl/internal/hinch/trace"
@@ -119,6 +118,19 @@ func Check(seed uint64, opt Options) error {
 	}
 	logf("seed %d: iters=%d frames=%d depth=%d cap=%d cells=%d opts=%d trigs=%d multi=%v",
 		seed, g.Iters, g.Frames, g.Depth, g.StreamCap, g.NCells, len(g.Options), len(g.Triggers), g.MultiSource)
+
+	// Static-analyzer precheck: the generator only builds live programs,
+	// so a deadlock verdict here is an analyzer false positive (an
+	// unsound "deadlocked" call). The runs below then cross-validate the
+	// other direction: a program the analyzer declared deadlock-free
+	// must run to completion on every backend and worker count.
+	rep, err := analysis.Analyze(g.Prog, analysis.Options{Catalog: Registry()})
+	if err != nil {
+		return fmt.Errorf("seed %d: analyzer: %w", seed, err)
+	}
+	if errs := rep.ErrorsByPass(analysis.PassDeadlock); len(errs) > 0 {
+		return fmt.Errorf("seed %d: analyzer declared a generator-built (live-by-construction) program deadlocked: %s", seed, errs[0].Message)
+	}
 
 	// Round-trip: the emitted XML must parse back to the same tree.
 	xml, err := xspcl.EmitXML(g.Prog)
@@ -303,67 +315,71 @@ func verify(g *Gen, obs *Observation) error {
 	return verifySubsets(g, seen, n, firings)
 }
 
-// verifySubsets checks event-driven runs: every iteration's hash must
-// match one of the <= 2^3 joint option subsets, and the cheapest
-// consistent subset schedule (counting single-option flips, starting
-// from the defaults) must not need more transitions than trigger
-// firings could have caused.
+// verifySubsets checks event-driven runs against the reachable
+// configuration lattice (graph.Configurations): every iteration's hash
+// must be explained by some configuration reachable from the declared
+// defaults under the managers' binding transition relation — not just
+// any of the 2^k option subsets — and the cheapest consistent
+// configuration schedule (counting configuration changes, starting
+// from the initial configuration) must not need more changes than
+// trigger firings could have caused. Both directions are sound for
+// generated programs: option states snapshot at iteration entry after
+// whole-event application, and the generator's forward bindings carry
+// no local actions, so the runtime never rests in a state the
+// collapsed-forward model misses.
 func verifySubsets(g *Gen, seen map[int]uint64, n, firings int) error {
-	k := len(g.Options)
-	nsub := 1 << k
-	subsets := make([]map[string]bool, nsub)
-	for s := 0; s < nsub; s++ {
-		m := map[string]bool{}
-		for i, o := range g.Options {
-			m[o.Name] = s&(1<<i) != 0
-		}
-		subsets[s] = m
-	}
-	defaultBits := 0
-	for i, o := range g.Options {
-		if o.DefaultOn {
-			defaultBits |= 1 << i
-		}
+	cfgs := g.Prog.Configurations()
+	nc := len(cfgs)
+	if nc > 64 {
+		return fmt.Errorf("%d reachable configurations exceed the verifier's 64-state mask", nc)
 	}
 
-	match := make([]uint32, n) // bitmask over subsets explaining iteration i
+	match := make([]uint64, n) // bitmask over cfgs explaining iteration i
 	for i := 0; i < n; i++ {
-		for s := 0; s < nsub; s++ {
-			if g.Expected(i, subsets[s]) == seen[i] {
+		for s, c := range cfgs {
+			if g.Expected(i, c.Enabled) == seen[i] {
 				match[i] |= 1 << s
 			}
 		}
 		if match[i] == 0 {
 			var tried []string
-			for s := 0; s < nsub; s++ {
-				tried = append(tried, fmt.Sprintf("%0*b:%016x", k, s, g.Expected(i, subsets[s])))
+			for _, c := range cfgs {
+				tried = append(tried, fmt.Sprintf("%s:%016x", c.Key(), g.Expected(i, c.Enabled)))
 			}
-			sort.Strings(tried)
-			return fmt.Errorf("iteration %d: sink hash %016x matches no option subset (oracle: %s)", i, seen[i], strings.Join(tried, " "))
+			return fmt.Errorf("iteration %d: sink hash %016x matches no reachable configuration (oracle: %s)", i, seen[i], strings.Join(tried, " "))
 		}
 	}
 
-	// DP over subset states: cost[s] = minimal option flips to reach
-	// subset s at the current iteration, starting from the defaults.
+	// DP over reachable configurations: cost[s] = minimal configuration
+	// changes to sit in configuration s at the current iteration. Every
+	// change needs at least one trigger firing; jumps between any two
+	// reachable states are allowed (several firings can land between two
+	// consecutive iterations), which only loosens the bound.
 	const inf = int(^uint(0) >> 1)
-	cost := make([]int, nsub)
-	next := make([]int, nsub)
-	for s := range cost {
-		cost[s] = bits.OnesCount32(uint32(s ^ defaultBits))
+	cost := make([]int, nc)
+	next := make([]int, nc)
+	for s, c := range cfgs {
+		cost[s] = inf
+		if c.Initial {
+			cost[s] = 0
+		}
 	}
 	for i := 0; i < n; i++ {
 		for s := range next {
 			next[s] = inf
 		}
-		for from := 0; from < nsub; from++ {
+		for from := 0; from < nc; from++ {
 			if cost[from] == inf {
 				continue
 			}
-			for to := 0; to < nsub; to++ {
+			for to := 0; to < nc; to++ {
 				if match[i]&(1<<to) == 0 {
 					continue
 				}
-				c := cost[from] + bits.OnesCount32(uint32(from^to))
+				c := cost[from]
+				if from != to {
+					c++
+				}
 				if c < next[to] {
 					next[to] = c
 				}
@@ -378,7 +394,7 @@ func verifySubsets(g *Gen, seen map[int]uint64, n, firings int) error {
 		}
 	}
 	if best > firings {
-		return fmt.Errorf("explaining the sink hashes needs >= %d option transitions but at most %d trigger firings were possible", best, firings)
+		return fmt.Errorf("explaining the sink hashes needs >= %d configuration changes but at most %d trigger firings were possible", best, firings)
 	}
 	return nil
 }

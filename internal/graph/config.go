@@ -1,0 +1,170 @@
+package graph
+
+import "sort"
+
+// This file enumerates the program's reachable configuration lattice:
+// every joint option state the runtime can actually produce, starting
+// from the declared defaults and applying the managers' event-binding
+// transition relation. The event model is open-world — any event some
+// manager binds may arrive on that manager's queue at any time (trigger
+// components and external callers push events freely) — so the
+// transition set is "deliver event e on queue q" for every (q, e) pair
+// appearing in a binding of a manager that polls q.
+//
+// The enumeration is shared by the static analyzer (internal/analysis
+// restricts every per-configuration pass to reachable states) and the
+// conformance oracle (which must not accept a sink hash only an
+// unreachable option subset explains).
+
+// Configuration is one reachable joint option state.
+type Configuration struct {
+	// Enabled maps every option name to its state in this
+	// configuration.
+	Enabled map[string]bool
+	// Initial marks the configuration of the declared defaults.
+	Initial bool
+}
+
+// Key returns the stable ConfigKey string of the configuration.
+func (c Configuration) Key() string { return ConfigKey(c.Enabled) }
+
+// cfgManager pairs a manager node with the options that must be
+// enabled for it to execute (a manager nested inside a disabled option
+// is not part of the plan and polls nothing).
+type cfgManager struct {
+	node    *Node
+	guarded []string // enclosing option names, outermost first
+}
+
+// active reports whether the manager runs under the given option state.
+func (m cfgManager) active(state map[string]bool) bool {
+	for _, o := range m.guarded {
+		if !state[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// cfgManagers collects the managers in preorder with their option
+// guards.
+func cfgManagers(root *Node) []cfgManager {
+	var out []cfgManager
+	var walk func(n *Node, guard []string)
+	walk = func(n *Node, guard []string) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case KindManager:
+			out = append(out, cfgManager{node: n, guarded: append([]string(nil), guard...)})
+		case KindOption:
+			guard = append(guard, n.Name)
+		}
+		for _, c := range n.Children {
+			walk(c, guard)
+		}
+	}
+	walk(root, nil)
+	return out
+}
+
+// Configurations enumerates every reachable configuration by
+// breadth-first search from the defaults. Delivering an event applies,
+// for each active manager polling that queue in preorder, every
+// matching binding's actions in order; a forward action recursively
+// delivers the event to the target queue within the same transition
+// (forward chains are collapsed — see the soundness note in DESIGN.md
+// §9). The result is sorted by ConfigKey with Initial marking the
+// default state; with no options it is a single empty configuration.
+func (p *Program) Configurations() []Configuration {
+	defaults := p.Options()
+	mgrs := cfgManagers(p.Root)
+
+	// The transition alphabet: (queue, event) pairs some manager binds.
+	type delivery struct{ queue, event string }
+	var alphabet []delivery
+	seenDel := map[delivery]bool{}
+	for _, m := range mgrs {
+		if m.node.Queue == "" {
+			continue
+		}
+		for _, bind := range m.node.Bindings {
+			d := delivery{m.node.Queue, bind.Event}
+			if !seenDel[d] {
+				seenDel[d] = true
+				alphabet = append(alphabet, d)
+			}
+		}
+	}
+	sort.Slice(alphabet, func(i, j int) bool {
+		if alphabet[i].queue != alphabet[j].queue {
+			return alphabet[i].queue < alphabet[j].queue
+		}
+		return alphabet[i].event < alphabet[j].event
+	})
+
+	// deliver mutates state by processing (queue, event). visited guards
+	// forward cycles within one transition.
+	var deliver func(state map[string]bool, queue, event string, visited map[delivery]bool)
+	deliver = func(state map[string]bool, queue, event string, visited map[delivery]bool) {
+		d := delivery{queue, event}
+		if visited[d] {
+			return
+		}
+		visited[d] = true
+		for _, m := range mgrs {
+			if m.node.Queue != queue || !m.active(state) {
+				continue
+			}
+			for _, bind := range m.node.Bindings {
+				if bind.Event != event {
+					continue
+				}
+				for _, act := range bind.Actions {
+					switch act.Kind {
+					case ActionEnable:
+						state[act.Option] = true
+					case ActionDisable:
+						state[act.Option] = false
+					case ActionToggle:
+						state[act.Option] = !state[act.Option]
+					case ActionForward:
+						deliver(state, act.Queue, event, visited)
+					}
+				}
+			}
+		}
+	}
+
+	initKey := ConfigKey(defaults)
+	seen := map[string]map[string]bool{initKey: defaults}
+	frontier := []map[string]bool{defaults}
+	for len(frontier) > 0 {
+		state := frontier[0]
+		frontier = frontier[1:]
+		for _, d := range alphabet {
+			next := make(map[string]bool, len(state))
+			for k, v := range state {
+				next[k] = v
+			}
+			deliver(next, d.queue, d.event, map[delivery]bool{})
+			key := ConfigKey(next)
+			if _, ok := seen[key]; !ok {
+				seen[key] = next
+				frontier = append(frontier, next)
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Configuration, len(keys))
+	for i, k := range keys {
+		out[i] = Configuration{Enabled: seen[k], Initial: k == initKey}
+	}
+	return out
+}

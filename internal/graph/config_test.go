@@ -1,0 +1,152 @@
+package graph
+
+import "testing"
+
+// mkOption builds an option with a trivial body.
+func mkOption(name string, on bool) *Node {
+	return &Node{Kind: KindOption, Name: name, DefaultOn: on, Children: []*Node{
+		comp("w_"+name, "work", Ports{"in": "a", "out": "a"}),
+	}}
+}
+
+func configProg(root *Node, queues ...string) *Program {
+	return &Program{Name: "cfg", Streams: []StreamDecl{{Name: "a"}}, Queues: queues, Root: root}
+}
+
+func hasConfig(cfgs []Configuration, want map[string]bool) bool {
+	key := ConfigKey(want)
+	for _, c := range cfgs {
+		if c.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConfigurationsNoOptions: a program without options has exactly
+// the empty initial configuration.
+func TestConfigurationsNoOptions(t *testing.T) {
+	p := configProg(seq(comp("s", "src", Ports{"out": "a"})))
+	cfgs := p.Configurations()
+	if len(cfgs) != 1 || !cfgs[0].Initial || len(cfgs[0].Enabled) != 0 {
+		t.Fatalf("configs = %+v, want one empty initial", cfgs)
+	}
+}
+
+// TestConfigurationsCoupledToggle: one event toggling two options moves
+// them in lockstep — only 2 of the 4 subsets are reachable (the Blur
+// application's shape).
+func TestConfigurationsCoupledToggle(t *testing.T) {
+	m := &Node{
+		Kind: KindManager, Name: "m", Queue: "q",
+		Bindings: []EventBinding{
+			{Event: "switch", Actions: []EventAction{
+				{Kind: ActionToggle, Option: "o1"},
+				{Kind: ActionToggle, Option: "o2"},
+			}},
+		},
+		Children: []*Node{mkOption("o1", true), mkOption("o2", false)},
+	}
+	p := configProg(seq(m), "q")
+	cfgs := p.Configurations()
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configurations, want 2: %+v", len(cfgs), cfgs)
+	}
+	if !hasConfig(cfgs, map[string]bool{"o1": true, "o2": false}) ||
+		!hasConfig(cfgs, map[string]bool{"o1": false, "o2": true}) {
+		t.Fatalf("lockstep states missing: %+v", cfgs)
+	}
+	initials := 0
+	for _, c := range cfgs {
+		if c.Initial {
+			initials++
+			if !c.Enabled["o1"] || c.Enabled["o2"] {
+				t.Fatalf("initial config wrong: %+v", c)
+			}
+		}
+	}
+	if initials != 1 {
+		t.Fatalf("%d initial configurations", initials)
+	}
+}
+
+// TestConfigurationsActionKinds: enable-only and disable-only bindings
+// bound the lattice in one direction.
+func TestConfigurationsActionKinds(t *testing.T) {
+	mk := func(kind ActionKind, deflt bool) *Program {
+		m := &Node{
+			Kind: KindManager, Name: "m", Queue: "q",
+			Bindings: []EventBinding{On("ev", kind, "o")},
+			Children: []*Node{mkOption("o", deflt)},
+		}
+		return configProg(seq(m), "q")
+	}
+	if n := len(mk(ActionDisable, false).Configurations()); n != 1 {
+		t.Fatalf("disable-only from off: %d states, want 1", n)
+	}
+	if n := len(mk(ActionEnable, false).Configurations()); n != 2 {
+		t.Fatalf("enable-only from off: %d states, want 2", n)
+	}
+	if n := len(mk(ActionEnable, true).Configurations()); n != 1 {
+		t.Fatalf("enable-only from on: %d states, want 1", n)
+	}
+	if n := len(mk(ActionToggle, true).Configurations()); n != 2 {
+		t.Fatalf("toggle: %d states, want 2", n)
+	}
+}
+
+// TestConfigurationsForwardChain: an event delivered to one queue and
+// forwarded to another still reaches the target manager's options
+// (collapsed into one transition), and forward cycles terminate.
+func TestConfigurationsForwardChain(t *testing.T) {
+	m0 := &Node{
+		Kind: KindManager, Name: "m0", Queue: "q0",
+		Bindings: []EventBinding{On("ev", ActionEnable, "o")},
+		Children: []*Node{mkOption("o", false)},
+	}
+	m1 := &Node{
+		Kind: KindManager, Name: "m1", Queue: "q1",
+		Bindings: []EventBinding{
+			On("ev", ActionForward, "q0"),
+			On("back", ActionForward, "q1"), // self-cycle must terminate
+		},
+	}
+	p := configProg(seq(m0, m1), "q0", "q1")
+	cfgs := p.Configurations()
+	if len(cfgs) != 2 {
+		t.Fatalf("got %d configurations, want 2: %+v", len(cfgs), cfgs)
+	}
+	if !hasConfig(cfgs, map[string]bool{"o": true}) {
+		t.Fatalf("forwarded enable unreachable: %+v", cfgs)
+	}
+}
+
+// TestConfigurationsGuardedManager: a manager nested inside a disabled
+// option cannot act until its guard is enabled.
+func TestConfigurationsGuardedManager(t *testing.T) {
+	inner := &Node{
+		Kind: KindManager, Name: "mi", Queue: "qi",
+		Bindings: []EventBinding{On("go", ActionEnable, "o2")},
+		Children: []*Node{mkOption("o2", false)},
+	}
+	outer := &Node{
+		Kind: KindManager, Name: "mo", Queue: "qo",
+		Bindings: []EventBinding{On("open", ActionToggle, "o1")},
+		Children: []*Node{
+			{Kind: KindOption, Name: "o1", DefaultOn: false, Children: []*Node{inner}},
+		},
+	}
+	p := configProg(seq(outer), "qo", "qi")
+	cfgs := p.Configurations()
+	// {off,off} -> open -> {on,off} -> go -> {on,on} -> open -> {off,on}.
+	if len(cfgs) != 4 {
+		t.Fatalf("got %d configurations, want 4: %+v", len(cfgs), cfgs)
+	}
+	// o2 can never flip while o1 is off and o2 is off: go from the
+	// initial state is a no-op.
+	for _, c := range cfgs {
+		if !c.Enabled["o1"] && c.Enabled["o2"] && c.Initial {
+			t.Fatalf("guard violated: %+v", c)
+		}
+	}
+}

@@ -198,6 +198,15 @@ type StreamDecl struct {
 	Type string
 	W, H int
 	Cap  int // capacity estimate in bytes for packet streams
+
+	// Depth is the declared FIFO depth of this stream's bounded buffer,
+	// in elements; 0 means "application default". The static analyzer
+	// (internal/analysis) checks it against the capacity rule of the
+	// per-stream FIFO realization and xspclc -autosize writes it. The
+	// current runtime acquires an iteration's stream slots atomically
+	// under a global bound (Config.StreamCapacity), so Depth is advisory
+	// there.
+	Depth int
 }
 
 // Program is an elaborated XSPCL application.
@@ -282,7 +291,11 @@ func (p *Program) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "program %s\n", p.Name)
 	for _, s := range p.Streams {
-		fmt.Fprintf(&b, "stream %s\n", s.Name)
+		fmt.Fprintf(&b, "stream %s", s.Name)
+		if s.Depth != 0 {
+			fmt.Fprintf(&b, " depth=%d", s.Depth)
+		}
+		b.WriteByte('\n')
 	}
 	for _, q := range p.Queues {
 		fmt.Fprintf(&b, "queue %s\n", q)

@@ -239,7 +239,7 @@ func (b *planBuilder) buildPar(n *Node, sc sliceCtx, enabled map[string]bool) (e
 			return nil, nil, err
 		}
 		for i := 0; i < n.N; i++ {
-			csc := sliceCtx{idx: i, n: n.N, suffix: fmt.Sprintf("%s#%d", sc.suffix, i), option: sc.option}
+			csc := sliceCtx{idx: i, n: n.N, suffix: fmt.Sprintf("%s#%d", sc.suffix, i), option: sc.option, managers: sc.managers}
 			e, x, err := b.build(n.Children[0], csc, enabled)
 			if err != nil {
 				return nil, nil, err
@@ -262,7 +262,7 @@ func (b *planBuilder) buildPar(n *Node, sc sliceCtx, enabled map[string]bool) (e
 		for bi, blk := range n.Children {
 			cur := make([]ports, n.N)
 			for i := 0; i < n.N; i++ {
-				csc := sliceCtx{idx: i, n: n.N, suffix: fmt.Sprintf("%s#%d", sc.suffix, i), option: sc.option}
+				csc := sliceCtx{idx: i, n: n.N, suffix: fmt.Sprintf("%s#%d", sc.suffix, i), option: sc.option, managers: sc.managers}
 				e, x, err := b.build(blk, csc, enabled)
 				if err != nil {
 					return nil, nil, err

@@ -648,6 +648,8 @@ func (e *engine) needsBuffers(j job) bool {
 // launch) lets the LIFO pools hand the previous iteration's cache-hot
 // buffers to the next one whenever the scheduler keeps few iterations
 // in flight. Must be called with mu held.
+//
+//hinch:locked
 func (e *engine) ensureBuffers(iter int) {
 	it := e.iterAt(iter)
 	if it == nil || it.acquired.Load() {
@@ -716,6 +718,8 @@ func (e *engine) effectiveOption(st *mgrState, name string) bool {
 // the option states the iteration will run under. It returns the
 // compute ops to charge for overlapped component pre-creation. Must be
 // called with mu held.
+//
+//hinch:locked
 func (e *engine) managerPoll(j job) (ops int64, err error) {
 	m := e.app.managers[j.task.Manager]
 	if m == nil {
@@ -767,6 +771,12 @@ func (e *engine) managerPoll(j job) (ops int64, err error) {
 	return ops, nil
 }
 
+// applyAction performs one bound action of a delivered event:
+// enable/disable/toggle stage a pending option flip and halt the
+// manager, reconfig records a request, forward re-enqueues the event.
+// Must be called with mu held, via managerPoll.
+//
+//hinch:locked
 func (e *engine) applyAction(m *graph.Node, st *mgrState, j job, ev Event, act graph.EventAction) (ops int64, err error) {
 	switch act.Kind {
 	case graph.ActionEnable, graph.ActionDisable, graph.ActionToggle:

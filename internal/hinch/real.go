@@ -214,6 +214,9 @@ func (e *engine) execReal(w *wsWorker, j job) {
 // secondary event this job produces reuses it). Call only with a
 // tracer attached.
 func (e *engine) traceSpan(w *wsWorker, j job) {
+	if e.tr == nil {
+		return
+	}
 	t0 := w.lastTS
 	w.lastTS = int64(time.Since(e.trStart))
 	e.tr.Emit(w.id+1, TraceEvent{

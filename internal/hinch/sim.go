@@ -38,6 +38,8 @@ func (h *completionHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]
 // visible to dependents at their virtual completion time, which is
 // dispatch time plus the job's compute cycles, memory cycles (from the
 // cache model) and the runtime's per-job overhead.
+//
+//hinch:locked
 func (e *engine) runSim() (*Report, error) {
 	a := e.app
 	cores := a.cfg.Cores
@@ -130,6 +132,8 @@ func (e *engine) runSim() (*Report, error) {
 // latency (the job's recorded accesses run through the cache model on
 // its core). ran reports whether the job actually executed rather than
 // skipping as a zero-cost no-op.
+//
+//hinch:locked
 func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 	a := e.app
 	if e.skipExecution(j) {

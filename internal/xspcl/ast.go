@@ -46,11 +46,12 @@ type Doc struct {
 
 // StreamDecl is a <stream> declaration.
 type StreamDecl struct {
-	Name string `xml:"name,attr"`
-	Type string `xml:"type,attr"`
-	W    int    `xml:"width,attr"`
-	H    int    `xml:"height,attr"`
-	Cap  int    `xml:"cap,attr"`
+	Name  string `xml:"name,attr"`
+	Type  string `xml:"type,attr"`
+	W     int    `xml:"width,attr"`
+	H     int    `xml:"height,attr"`
+	Cap   int    `xml:"cap,attr"`
+	Depth int    `xml:"depth,attr"`
 }
 
 // Procedure is a <procedure>: a named, parameterised subgraph.

@@ -35,6 +35,9 @@ func EmitXML(prog *graph.Program) (string, error) {
 			if s.Cap != 0 {
 				fmt.Fprintf(&b, " cap=\"%d\"", s.Cap)
 			}
+			if s.Depth != 0 {
+				fmt.Fprintf(&b, " depth=\"%d\"", s.Depth)
+			}
 			b.WriteString("/>\n")
 		}
 		b.WriteString("  </streams>\n")

@@ -13,6 +13,8 @@
 #     on the scheduler-bound workload).
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
+#   - Analyzer benches (internal/analysis): xspclvet wall time on every
+#     built-in app variant.
 #
 # Usage:
 #   scripts/bench.sh                # default: benchtime 1s
@@ -69,6 +71,10 @@ run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
 run_bench ./ 'BenchmarkTraceOverhead' -benchmem
 run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
 run_bench ./internal/kernels/ '.' -benchmem
+# Static-analyzer wall time on every built-in app variant: xspclvet
+# runs on each xspclc invocation, so its cost is part of the perf
+# trajectory too.
+run_bench ./internal/analysis/ 'BenchmarkAnalyze' -benchmem
 
 # Fold the benchmark lines into JSON. Benchmark output fields arrive as
 # value/unit pairs after the iteration count, e.g.:
