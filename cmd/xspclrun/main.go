@@ -13,6 +13,11 @@
 // Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev);
 // -report json prints the Report as JSON instead of the compact
 // summary.
+//
+// The -inject-faults flag attaches a deterministic fault injector, for
+// exercising failure policies and degradation paths:
+//
+//	xspclrun -builtin JPiP-FT -inject-faults seed=1,task=jdec,from=8
 package main
 
 import (
@@ -40,13 +45,14 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "record a flight-recorder trace and write Perfetto JSON to this file")
 	report := flag.String("report", "text", "report format: text or json")
+	inject := flag.String("inject-faults", "", `inject deterministic faults, e.g. "seed=1,task=jdec,from=8" (see hinch.ParseFaultSpec)`)
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *traceOut, *report); err != nil {
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *traceOut, *report, *inject); err != nil {
 		stop()
 		fail(err)
 	}
@@ -55,7 +61,7 @@ func main() {
 	}
 }
 
-func run(cores, frames, pipeline int, backend, builtin string, workless bool, traceOut, report string) error {
+func run(cores, frames, pipeline int, backend, builtin string, workless bool, traceOut, report, inject string) error {
 	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless}
 	switch backend {
 	case "sim":
@@ -64,6 +70,13 @@ func run(cores, frames, pipeline int, backend, builtin string, workless bool, tr
 		cfg.Backend = hinch.BackendReal
 	default:
 		return fmt.Errorf("unknown backend %q", backend)
+	}
+	if inject != "" {
+		faults, err := hinch.ParseFaultSpec(inject)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = faults
 	}
 
 	var src string

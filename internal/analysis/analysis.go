@@ -16,7 +16,11 @@
 //     configuration, and every halt scope quiesces (no stream crossing
 //     the scope boundary is written from outside concurrently with it);
 //   - bindings: event bindings that can never fire or never change
-//     state, forwards nobody handles, and conflicting actions.
+//     state, forwards nobody handles, and conflicting actions;
+//   - faults:   every component with a non-default failure policy
+//     (@on_error / @deadline) sits under a queued manager whose
+//     bindings handle the synthetic "fault" event, and a fallback
+//     configuration is reachable from degradation.
 //
 // The deadlock model targets the paper's per-stream bounded-FIFO
 // realization (a refinement of the current iteration-granular runtime,
@@ -64,10 +68,11 @@ const (
 	PassSizing   = "sizing"
 	PassReconfig = "reconfig"
 	PassBindings = "bindings"
+	PassFaults   = "faults"
 )
 
 // Passes lists every analyzer pass in execution order.
-var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings}
+var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings, PassFaults}
 
 // CapacityFix is the minimal FIFO-depth change that removes a capacity
 // deadlock.
@@ -204,6 +209,9 @@ func Analyze(prog *graph.Program, opt Options) (*Report, error) {
 	}
 	if a.enabled(PassBindings) {
 		a.bindings()
+	}
+	if a.enabled(PassFaults) {
+		a.faults()
 	}
 
 	sort.SliceStable(a.rep.Findings, func(i, j int) bool {

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"xspcl/internal/graph"
+)
+
+// The faults pass checks that every component declaring a non-default
+// failure policy (@on_error / @deadline) can actually degrade. Policy
+// exhaustion, skipped iterations and watchdog overruns emit a synthetic
+// "fault" event into the innermost enclosing queued manager; a policy
+// without such a manager — or one whose fault events no binding handles
+// — either escalates to a fatal run error at the first exhaustion or
+// silently drops the watchdog signal. Structure mirrors the runtime's
+// routing (engine.faultRoute): the event goes to the innermost
+// enclosing manager that polls a queue.
+
+// faultBindings reports whether any manager polling queue binds the
+// "fault" event, and collects every action those bindings apply,
+// following forward actions from queue to queue (cycles cut by the
+// visited set).
+func faultBindings(mgrs []mgrCtx, queue string) (bool, []graph.EventAction) {
+	visited := map[string]bool{}
+	bound := false
+	var actions []graph.EventAction
+	var collect func(q string)
+	collect = func(q string) {
+		if visited[q] {
+			return
+		}
+		visited[q] = true
+		for _, m := range mgrs {
+			if m.node.Queue != q {
+				continue
+			}
+			for _, bind := range m.node.Bindings {
+				if bind.Event != graph.FaultEvent {
+					continue
+				}
+				bound = true
+				for _, act := range bind.Actions {
+					actions = append(actions, act)
+					if act.Kind == graph.ActionForward {
+						collect(act.Queue)
+					}
+				}
+			}
+		}
+	}
+	collect(queue)
+	return bound, actions
+}
+
+// faults runs the degradation-reachability checks.
+func (a *analyzer) faults() {
+	mgrs := managerCtxs(a.prog.Root)
+	var walk func(n *graph.Node, route *graph.Node, opts []string)
+	walk = func(n *graph.Node, route *graph.Node, opts []string) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case graph.KindManager:
+			if n.Queue != "" {
+				route = n
+			}
+		case graph.KindOption:
+			opts = append(opts, n.Name)
+		case graph.KindComponent:
+			// Validate vetted the syntax, so a parse error cannot occur.
+			if pol, err := graph.NodePolicy(n); err == nil && !pol.IsDefault() {
+				a.checkPolicied(n, pol, route, opts, mgrs)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, route, opts)
+		}
+	}
+	walk(a.prog.Root, nil, nil)
+}
+
+// checkPolicied diagnoses one component's failure policy against the
+// fault-handling plumbing around it.
+func (a *analyzer) checkPolicied(n *graph.Node, pol graph.FailurePolicy, route *graph.Node, opts []string, mgrs []mgrCtx) {
+	desc := policyDesc(pol)
+	if route == nil {
+		a.add(Finding{
+			Pass: PassFaults, Severity: Error,
+			Message: fmt.Sprintf("component %q declares a failure policy (%s) but no enclosing manager polls a queue: its fault events have nowhere to go",
+				n.Name, desc),
+		})
+		return
+	}
+	bound, actions := faultBindings(mgrs, route.Queue)
+	if !bound {
+		a.add(Finding{
+			Pass: PassFaults, Severity: Error,
+			Message: fmt.Sprintf("component %q's fault events (%s) reach queue %q, where no manager binds the %q event",
+				n.Name, desc, route.Queue, graph.FaultEvent),
+		})
+		return
+	}
+	disables, enables := false, false
+	enclosing := map[string]bool{}
+	for _, o := range opts {
+		enclosing[o] = true
+	}
+	for _, act := range actions {
+		switch act.Kind {
+		case graph.ActionDisable, graph.ActionToggle:
+			if enclosing[act.Option] {
+				disables = true
+			}
+			if act.Kind == graph.ActionToggle && !enclosing[act.Option] {
+				enables = true
+			}
+		case graph.ActionEnable:
+			enables = true
+		}
+	}
+	if len(opts) == 0 {
+		a.add(Finding{
+			Pass: PassFaults, Severity: Warning,
+			Message: fmt.Sprintf("component %q (%s) is not enclosed by any option: fault handling on queue %q cannot disable it",
+				n.Name, desc, route.Queue),
+		})
+	} else if !disables {
+		a.add(Finding{
+			Pass: PassFaults, Severity: Warning,
+			Message: fmt.Sprintf("no %q binding on queue %q disables an option enclosing component %q: the failing component stays active after degradation",
+				graph.FaultEvent, route.Queue, n.Name),
+		})
+	}
+	if !enables {
+		a.add(Finding{
+			Pass: PassFaults, Severity: Warning,
+			Message: fmt.Sprintf("no %q binding on queue %q enables a fallback option for component %q",
+				graph.FaultEvent, route.Queue, n.Name),
+		})
+	}
+}
+
+// policyDesc renders a failure policy for diagnostics.
+func policyDesc(pol graph.FailurePolicy) string {
+	var parts []string
+	if pol.Action != graph.PolicyFail {
+		s := "on_error=" + pol.Action.String()
+		if pol.Action == graph.PolicyRetry {
+			s = fmt.Sprintf("%s:%d", s, pol.Retries)
+		}
+		parts = append(parts, s)
+	}
+	if pol.Deadline > 0 {
+		parts = append(parts, "deadline="+pol.Deadline.String())
+	}
+	return strings.Join(parts, " ")
+}

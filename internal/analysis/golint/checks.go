@@ -12,8 +12,8 @@ import (
 // optionalFields are the struct fields that are nil in the common
 // configuration: every method call through them needs a nil guard.
 var optionalFields = map[string]bool{
-	"hooks": true, "tr": true, // engine fields
-	"Hooks": true, "Tracer": true, // hinch.Config fields
+	"hooks": true, "tr": true, "faults": true, // engine fields
+	"Hooks": true, "Tracer": true, "Faults": true, // hinch.Config fields
 }
 
 var nilguardCheck = Check{

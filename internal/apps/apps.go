@@ -79,7 +79,7 @@ func (v *Variant) Run(cfg hinch.Config) (*hinch.Report, *components.VideoSink, e
 func Variants() []*Variant {
 	return []*Variant{
 		PiP1(), PiP2(), JPiP1(), JPiP2(), Blur3(), Blur5(),
-		PiP12(), JPiP12(), Blur35(),
+		PiP12(), JPiP12(), Blur35(), JPiPFT(),
 	}
 }
 

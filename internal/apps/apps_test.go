@@ -391,7 +391,7 @@ func TestFig10SmallScale(t *testing.T) {
 }
 
 func TestVariantLookup(t *testing.T) {
-	names := []string{"PiP-1", "PiP-2", "JPiP-1", "JPiP-2", "Blur-3x3", "Blur-5x5", "PiP-12", "JPiP-12", "Blur-35"}
+	names := []string{"PiP-1", "PiP-2", "JPiP-1", "JPiP-2", "Blur-3x3", "Blur-5x5", "PiP-12", "JPiP-12", "Blur-35", "JPiP-FT"}
 	if len(Variants()) != len(names) {
 		t.Fatalf("%d variants", len(Variants()))
 	}
@@ -501,5 +501,55 @@ func TestAblationsRunAtSmallScale(t *testing.T) {
 		if !strings.Contains(tab.Format(), tab.Name) {
 			t.Fatalf("format of %s", tab.Name)
 		}
+	}
+}
+
+// TestJPiPFTFaultFreeMatchesSequential: without injected faults the
+// fault-tolerant variant stays on the compressed chain and computes
+// exactly JPiP-1.
+func TestJPiPFTFaultFreeMatchesSequential(t *testing.T) {
+	cfg := smallJPiP(1)
+	cfg.FT = true
+	v := NewJPiPVariant("jpip-ft", cfg)
+	seq, err := SeqJPiP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, sink, err := v.Run(SimConfig(3, RunOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Checksum() != seq.Checksum {
+		t.Fatal("fault-free JPiP-FT differs from the sequential baseline")
+	}
+	if rep.Faults != 0 || rep.Degradations != 0 || rep.Reconfigs != 0 {
+		t.Fatalf("fault-free run reported faults=%d degradations=%d reconfigs=%d", rep.Faults, rep.Degradations, rep.Reconfigs)
+	}
+}
+
+// TestJPiPFTDegradesUnderInjection: with the inset decoder failing
+// persistently, the retry budget exhausts, the fault manager swaps in
+// the uncompressed source, and the run finishes without error.
+func TestJPiPFTDegradesUnderInjection(t *testing.T) {
+	cfg := smallJPiP(1)
+	cfg.FT = true
+	cfg.Frames = 12
+	v := NewJPiPVariant("jpip-ft", cfg)
+	rcfg := SimConfig(3, RunOptions{})
+	rcfg.Faults = &hinch.SeededFaults{Task: "jdec", From: 1, Kind: hinch.FaultError}
+	rep, sink, err := v.Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degradations == 0 || rep.Reconfigs != 1 {
+		t.Fatalf("degradations=%d reconfigs=%d, want degradation and exactly one reconfiguration", rep.Degradations, rep.Reconfigs)
+	}
+	if rep.Faults == 0 || rep.Retries == 0 {
+		t.Fatalf("faults=%d retries=%d, want the retry policy exercised", rep.Faults, rep.Retries)
+	}
+	// Exhausted iterations hole; everything else (pre-fault compressed,
+	// post-flip degraded) reaches the sink.
+	if sink.Count() == 0 || sink.Count() >= cfg.Frames {
+		t.Fatalf("sink saw %d frames of %d, want holes but not a dead pipeline", sink.Count(), cfg.Frames)
 	}
 }

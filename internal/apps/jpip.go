@@ -16,6 +16,11 @@ type JPiPConfig struct {
 	Reconfig bool
 	Every    int
 	Collect  bool // sink keeps frame copies (for file output / debugging)
+	// FT declares a failure policy on the inset picture's JPEG decoder
+	// and a degradation path: a manager polling the "faults" queue swaps
+	// the compressed chain for an uncompressed video source when the
+	// decoder's retry budget is exhausted.
+	FT bool
 }
 
 // DefaultJPiP returns the paper's JPiP configuration (§4: 1280×720
@@ -84,7 +89,11 @@ func JPiPSpec(cfg JPiPConfig) string {
 		fmt.Fprintf(&b, "    <stream name=\"pipframe%d\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", i, cfg.W, cfg.H)
 		fmt.Fprintf(&b, "    <stream name=\"small%d\" type=\"frame\" width=\"%d\" height=\"%d\"/>\n", i, ow, oh)
 	}
-	fmt.Fprintf(&b, "  </streams>\n  <queues>\n    <queue name=\"ui\"/>\n  </queues>\n")
+	fmt.Fprintf(&b, "  </streams>\n  <queues>\n    <queue name=\"ui\"/>\n")
+	if cfg.FT {
+		fmt.Fprintf(&b, "    <queue name=\"faults\"/>\n")
+	}
+	fmt.Fprintf(&b, "  </queues>\n")
 
 	// Procedure: sliced per-plane IDCT trio.
 	fmt.Fprintf(&b, `  <procedure name="idcttrio">
@@ -219,20 +228,64 @@ func JPiPSpec(cfg JPiPConfig) string {
               </call>
             </parblock>
             <parblock>
-              <call name="p1" procedure="decchain">
+`, cfg.W, cfg.H)
+	if cfg.FT {
+		// The inset decode chain sits under a fault manager: the decoder
+		// declares a retry policy, and on exhaustion the manager disables
+		// the compressed chain and enables an uncompressed source writing
+		// the same picture stream, so downscale + blend keep running.
+		fmt.Fprintf(&b, `              <manager name="ftmgr" queue="faults">
+                <on event="fault" action="disable" option="jpeg"/>
+                <on event="fault" action="enable" option="plain"/>
+                <body>
+                  <option name="jpeg" default="on">
+                    <body>
+                      <component name="jdec" class="jpegdecode" on_error="retry:1,base=100us">
+                        <stream port="in" name="pippk1"/>
+                        <stream port="out" name="pipcf1"/>
+                        <init name="width" value="%d"/>
+                        <init name="height" value="%d"/>
+                      </component>
+                      <call name="ji" procedure="idcttrio">
+                        <arg name="cf" value="pipcf1"/>
+                        <arg name="frame" value="pipframe1"/>
+                      </call>
+                    </body>
+                  </option>
+                  <option name="plain" default="off">
+                    <body>
+                      <component name="rawsrc" class="videosrc">
+                        <stream port="out" name="pipframe1"/>
+                        <init name="width" value="%d"/>
+                        <init name="height" value="%d"/>
+                        <init name="seed" value="2"/>
+                      </component>
+                    </body>
+                  </option>
+                  <call name="s1" procedure="dstrio">
+                    <arg name="vid" value="pipframe1"/>
+                    <arg name="small" value="small1"/>
+                  </call>
+                </body>
+              </manager>
+`, cfg.W, cfg.H, cfg.W, cfg.H)
+	} else {
+		fmt.Fprintf(&b, `              <call name="p1" procedure="decchain">
                 <arg name="pk" value="pippk1"/>
                 <arg name="cf" value="pipcf1"/>
                 <arg name="frame" value="pipframe1"/>
                 <arg name="small" value="small1"/>
               </call>
-            </parblock>
+`)
+	}
+	fmt.Fprintf(&b, `            </parblock>
           </parallel>
           <call name="p1b" procedure="blendtrio">
             <arg name="small" value="small1"/>
             <arg name="x" value="%d"/>
             <arg name="y" value="%d"/>
           </call>
-`, cfg.W, cfg.H, pos[0][0], pos[0][1])
+`, pos[0][0], pos[0][1])
 	if hasPip2 {
 		def := "off"
 		if cfg.Pips == 2 {
@@ -291,6 +344,17 @@ func JPiP1() *Variant { return NewJPiPVariant("JPiP-1", DefaultJPiP(1)) }
 
 // JPiP2 is the paper's JPiP-2: two inset pictures.
 func JPiP2() *Variant { return NewJPiPVariant("JPiP-2", DefaultJPiP(2)) }
+
+// JPiPFT is the fault-tolerant JPiP-1: the inset decoder carries a
+// retry policy and the application degrades to an uncompressed inset
+// source when the decoder keeps failing (e.g. under `xspclrun
+// -inject-faults task=jdec`). Fault-free it computes exactly JPiP-1.
+func JPiPFT() *Variant {
+	cfg := DefaultJPiP(1)
+	cfg.FT = true
+	v := NewJPiPVariant("JPiP-FT", cfg)
+	return v
+}
 
 // JPiP12 is the paper's JPiP-12: toggles the second inset picture
 // every 12 frames.

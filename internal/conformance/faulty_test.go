@@ -1,0 +1,23 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFaultyConformance runs the fault-injection battery over fixed
+// seeds covering every mode twice (seed%3 selects the mode). Each seed
+// checks the analyzer precheck, the XML round-trip of the policy
+// attributes, sim determinism, and degradation to the predicted
+// fallback output on both backends at 1–8 workers.
+func TestFaultyConformance(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckFaulty(seed, Options{Logf: t.Logf}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Failure policies ride the same reserved-parameter channel as
+// reconfiguration requests (ReconfigParam): the XSPCL front end stores
+// the raw attribute strings under OnErrorParam/DeadlineParam in
+// Node.Params, the plan shares the map into Task.Params, and the
+// runtime parses them once per task at engine construction. Keeping
+// them as params means Program.String, EmitXML round-tripping and the
+// structural tools all see policies without new AST surface.
+const (
+	// OnErrorParam holds the raw on_error attribute of a component.
+	OnErrorParam = "@on_error"
+	// DeadlineParam holds the raw deadline attribute of a component.
+	DeadlineParam = "@deadline"
+	// FaultEvent is the synthetic event name the runtime pushes into a
+	// manager's queue when a task's failure policy is exhausted (or its
+	// deadline overruns), so ordinary bindings can degrade the
+	// application: <on event="fault" action="disable" option="..."/>.
+	FaultEvent = "fault"
+)
+
+// PolicyAction says what the runtime does with a contained component
+// failure once retries (if any) are exhausted.
+type PolicyAction int
+
+const (
+	// PolicyFail aborts the run — the pre-fault-tolerance behaviour and
+	// the default.
+	PolicyFail PolicyAction = iota
+	// PolicySkip drops the failing iteration: its remaining jobs run as
+	// zero-cost no-ops (a "hole" downstream consumers never observe) and
+	// a fault event is emitted to the owning manager.
+	PolicySkip
+	// PolicyRetry re-runs the component up to Retries times with
+	// backoff, then degrades like PolicySkip.
+	PolicyRetry
+)
+
+func (a PolicyAction) String() string {
+	switch a {
+	case PolicyFail:
+		return "fail"
+	case PolicySkip:
+		return "skip-iteration"
+	case PolicyRetry:
+		return "retry"
+	}
+	return fmt.Sprintf("PolicyAction(%d)", int(a))
+}
+
+// FailurePolicy is the parsed per-task failure handling declared with
+// <component on_error="..." deadline="...">.
+type FailurePolicy struct {
+	Action        PolicyAction
+	Retries       int           // attempts after the first, for PolicyRetry
+	BackoffBase   time.Duration // wait before the first retry
+	BackoffFactor int           // multiplier per further retry (>= 1)
+	Deadline      time.Duration // per-job budget; 0 = none
+}
+
+// DefaultBackoffBase is the retry backoff before the first re-attempt
+// when the policy does not name one. On the sim backend backoff is
+// charged as virtual cycles (1ns = 1 cycle), keeping runs deterministic.
+const DefaultBackoffBase = time.Millisecond
+
+// IsDefault reports whether the policy is the implicit one (fail fast,
+// no deadline) — the fault-free fast path.
+func (p FailurePolicy) IsDefault() bool {
+	return p.Action == PolicyFail && p.Deadline == 0
+}
+
+// BackoffAt returns the wait before retry attempt (0-based): base *
+// factor^attempt, saturating well below overflow.
+func (p FailurePolicy) BackoffAt(attempt int) time.Duration {
+	d := p.BackoffBase
+	for i := 0; i < attempt && d < time.Minute; i++ {
+		d *= time.Duration(p.BackoffFactor)
+	}
+	return d
+}
+
+// ParseFailurePolicy parses the on_error/deadline attribute pair.
+//
+// Grammar:
+//
+//	on_error = "" | "fail" | "skip-iteration" | "skip"
+//	         | "retry:N" [ ",backoff=Kx" ] [ ",base=DUR" ]
+//	deadline = "" | Go duration (e.g. "250ms", "2s")
+//
+// "skip" is shorthand for "skip-iteration". Retry defaults to a 1ms
+// base doubling per attempt is NOT implied: the factor defaults to 1
+// (constant backoff) unless backoff=Kx names one.
+func ParseFailurePolicy(onError, deadline string) (FailurePolicy, error) {
+	p := FailurePolicy{Action: PolicyFail, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}
+	switch s := strings.TrimSpace(onError); {
+	case s == "" || s == "fail":
+		// default
+	case s == "skip-iteration" || s == "skip":
+		p.Action = PolicySkip
+	case strings.HasPrefix(s, "retry:"):
+		p.Action = PolicyRetry
+		parts := strings.Split(s[len("retry:"):], ",")
+		n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("graph: on_error %q: retry count must be a non-negative integer", onError)
+		}
+		p.Retries = n
+		for _, opt := range parts[1:] {
+			opt = strings.TrimSpace(opt)
+			switch {
+			case strings.HasPrefix(opt, "backoff="):
+				v := strings.TrimSuffix(opt[len("backoff="):], "x")
+				k, err := strconv.Atoi(v)
+				if err != nil || k < 1 {
+					return p, fmt.Errorf("graph: on_error %q: backoff factor must be an integer >= 1 (e.g. backoff=2x)", onError)
+				}
+				p.BackoffFactor = k
+			case strings.HasPrefix(opt, "base="):
+				d, err := time.ParseDuration(opt[len("base="):])
+				if err != nil || d < 0 {
+					return p, fmt.Errorf("graph: on_error %q: bad backoff base: %v", onError, err)
+				}
+				p.BackoffBase = d
+			default:
+				return p, fmt.Errorf("graph: on_error %q: unknown option %q", onError, opt)
+			}
+		}
+	default:
+		return p, fmt.Errorf("graph: unknown on_error policy %q (want fail, skip-iteration or retry:N[,backoff=Kx][,base=DUR])", onError)
+	}
+	if d := strings.TrimSpace(deadline); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil || dur <= 0 {
+			return p, fmt.Errorf("graph: bad deadline %q: want a positive Go duration", deadline)
+		}
+		p.Deadline = dur
+	}
+	return p, nil
+}
+
+// NodePolicy parses the failure policy attached to a component node
+// (zero value when the node carries none). The syntax was checked by
+// Program.Validate, so errors only surface for hand-built graphs.
+func NodePolicy(n *Node) (FailurePolicy, error) {
+	return ParseFailurePolicy(n.Params[OnErrorParam], n.Params[DeadlineParam])
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFailurePolicy(t *testing.T) {
+	cases := []struct {
+		name     string
+		onError  string
+		deadline string
+		want     FailurePolicy
+		wantErr  string
+	}{
+		{name: "empty is default",
+			want: FailurePolicy{Action: PolicyFail, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "explicit fail", onError: "fail",
+			want: FailurePolicy{Action: PolicyFail, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "skip-iteration", onError: "skip-iteration",
+			want: FailurePolicy{Action: PolicySkip, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "skip shorthand", onError: "skip",
+			want: FailurePolicy{Action: PolicySkip, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "plain retry", onError: "retry:3",
+			want: FailurePolicy{Action: PolicyRetry, Retries: 3, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "retry zero is degrade-immediately", onError: "retry:0",
+			want: FailurePolicy{Action: PolicyRetry, BackoffBase: DefaultBackoffBase, BackoffFactor: 1}},
+		{name: "retry with backoff factor", onError: "retry:2,backoff=2x",
+			want: FailurePolicy{Action: PolicyRetry, Retries: 2, BackoffBase: DefaultBackoffBase, BackoffFactor: 2}},
+		{name: "retry with base", onError: "retry:1,base=250us",
+			want: FailurePolicy{Action: PolicyRetry, Retries: 1, BackoffBase: 250 * time.Microsecond, BackoffFactor: 1}},
+		{name: "retry full form with spaces", onError: "retry:4, backoff=3x, base=2ms",
+			want: FailurePolicy{Action: PolicyRetry, Retries: 4, BackoffBase: 2 * time.Millisecond, BackoffFactor: 3}},
+		{name: "deadline only", deadline: "250ms",
+			want: FailurePolicy{Action: PolicyFail, BackoffBase: DefaultBackoffBase, BackoffFactor: 1, Deadline: 250 * time.Millisecond}},
+		{name: "retry plus deadline", onError: "retry:1", deadline: "2s",
+			want: FailurePolicy{Action: PolicyRetry, Retries: 1, BackoffBase: DefaultBackoffBase, BackoffFactor: 1, Deadline: 2 * time.Second}},
+
+		{name: "negative retry", onError: "retry:-1", wantErr: "non-negative integer"},
+		{name: "non-numeric retry", onError: "retry:lots", wantErr: "non-negative integer"},
+		{name: "backoff below one", onError: "retry:2,backoff=0x", wantErr: "backoff factor"},
+		{name: "non-numeric backoff", onError: "retry:2,backoff=fast", wantErr: "backoff factor"},
+		{name: "bad base", onError: "retry:2,base=soon", wantErr: "bad backoff base"},
+		{name: "unknown retry option", onError: "retry:2,jitter=1ms", wantErr: `unknown option "jitter=1ms"`},
+		{name: "unknown policy", onError: "restart", wantErr: "unknown on_error policy"},
+		{name: "bad deadline", deadline: "fast", wantErr: "bad deadline"},
+		{name: "zero deadline", deadline: "0s", wantErr: "positive Go duration"},
+		{name: "negative deadline", deadline: "-1s", wantErr: "positive Go duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseFailurePolicy(tc.onError, tc.deadline)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("policy = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolicyIsDefault(t *testing.T) {
+	def, err := ParseFailurePolicy("", "")
+	if err != nil || !def.IsDefault() {
+		t.Fatalf("empty attributes parsed to non-default policy %+v (err %v)", def, err)
+	}
+	for _, pair := range [][2]string{{"skip", ""}, {"retry:1", ""}, {"", "1ms"}} {
+		p, err := ParseFailurePolicy(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsDefault() {
+			t.Fatalf("on_error=%q deadline=%q should not be the default policy", pair[0], pair[1])
+		}
+	}
+}
+
+func TestBackoffAt(t *testing.T) {
+	p := FailurePolicy{Action: PolicyRetry, BackoffBase: time.Millisecond, BackoffFactor: 2}
+	for i, want := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond} {
+		if got := p.BackoffAt(i); got != want {
+			t.Fatalf("BackoffAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Constant backoff when no factor was named.
+	c := FailurePolicy{Action: PolicyRetry, BackoffBase: 5 * time.Millisecond, BackoffFactor: 1}
+	if got := c.BackoffAt(7); got != 5*time.Millisecond {
+		t.Fatalf("constant BackoffAt(7) = %v, want 5ms", got)
+	}
+	// The exponential saturates instead of overflowing.
+	if got := p.BackoffAt(500); got <= 0 || got > 2*time.Minute {
+		t.Fatalf("BackoffAt(500) = %v, want a saturated positive duration", got)
+	}
+}
+
+func TestPolicyActionString(t *testing.T) {
+	for a, want := range map[PolicyAction]string{
+		PolicyFail: "fail", PolicySkip: "skip-iteration", PolicyRetry: "retry", PolicyAction(9): "PolicyAction(9)",
+	} {
+		if got := a.String(); got != want {
+			t.Fatalf("PolicyAction(%d).String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -65,6 +65,9 @@ func (p *Program) Validate(catalog Catalog) error {
 			if n.Name == "" {
 				return fmt.Errorf("graph: component of class %q has no name", n.Class)
 			}
+			if _, err := NodePolicy(n); err != nil {
+				return fmt.Errorf("graph: component %q: %w", n.Name, err)
+			}
 			for port, stream := range n.Ports {
 				if !streams[stream] {
 					return fmt.Errorf("graph: component %q port %q references undeclared stream %q", n.Name, port, stream)

@@ -82,6 +82,12 @@ type Config struct {
 	// reconfiguration phases); see Tracer and internal/hinch/trace.
 	// Nil disables tracing at the cost of one branch per boundary.
 	Tracer Tracer
+
+	// Faults injects deterministic errors, panics and latency spikes at
+	// component boundaries for fault-tolerance testing; see
+	// FaultInjector. Nil in production — the fault-free path pays one
+	// branch per component dispatch.
+	Faults FaultInjector
 }
 
 // withDefaults fills unset fields.

@@ -51,6 +51,52 @@ func BenchmarkRealSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultFreeOverhead tracks the cost of the fault-tolerance
+// machinery when it is idle: "default" is the plain scheduler-bound
+// workload (nil Config.Faults, implicit fail-fast policies) and
+// "policied" declares a retry policy on every slice task that never
+// fires. Neither may regress against BenchmarkRealSchedule: the
+// fault-free path must stay free.
+func BenchmarkFaultFreeOverhead(b *testing.B) {
+	prog := func(policied bool) *graph.Program {
+		var params graph.Params
+		if policied {
+			params = graph.Params{graph.OnErrorParam: "retry:2,backoff=2x"}
+		}
+		bd := graph.NewBuilder("wide")
+		bd.Stream("a").Stream("b")
+		bd.Body(
+			bd.Component("src", "bmsrc", graph.Ports{"out": "a"}, nil),
+			bd.Parallel(graph.ShapeSlice, 16,
+				bd.Component("m", "marker", graph.Ports{"in": "a", "out": "b"}, params),
+			),
+			bd.Component("snk", "bmsink", graph.Ports{"in": "b"}, graph.Params{"expect": "16"}),
+		)
+		return bd.MustProgram()
+	}
+	for _, bc := range []struct {
+		name     string
+		policied bool
+	}{{"default", false}, {"policied", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				app, err := NewApp(prog(bc.policied), testRegistry(), Config{Backend: BackendReal, Cores: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := app.Run(50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Faults != 0 || rep.Retries != 0 || rep.Degradations != 0 {
+					b.Fatal("fault-free run recorded fault activity")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAppConstruction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -151,6 +151,19 @@ type engine struct {
 	trStart time.Time // real backend: trace timestamps count from this instant
 	simNow  int64     // sim backend: mirror of the virtual clock, for trace timestamps
 
+	faults FaultInjector // deterministic fault injection; nil in production
+
+	// policies[t] is task t's parsed failure policy; nil when every task
+	// uses the implicit fail-fast policy, which keeps the fault-free
+	// path to one nil check per component dispatch.
+	policies []graph.FailurePolicy
+	// faultRoute[t] is the event queue of the innermost manager
+	// enclosing task t that polls a queue — where the runtime delivers
+	// synthetic fault events for t. faultMgr[t] is that manager's trace
+	// index. Both nil when policies is nil.
+	faultRoute []*EventQueue
+	faultMgr   []int32
+
 	mgrNames []string       // sorted manager names; TraceEvent.ID table
 	mgrIndex map[string]int // manager name -> trace index
 }
@@ -203,7 +216,49 @@ func newEngine(a *App, limit int) *engine {
 		e.mgrIndex[n] = i
 	}
 	e.tr = a.cfg.Tracer
+	e.faults = a.cfg.Faults
+	for _, t := range a.plan.Tasks {
+		if t.Role != graph.RoleComponent {
+			continue
+		}
+		pol, err := graph.ParseFailurePolicy(t.Params[graph.OnErrorParam], t.Params[graph.DeadlineParam])
+		if err != nil || pol.IsDefault() {
+			// Syntax errors were rejected by Program.Validate; a
+			// hand-built bad policy degenerates to fail-fast.
+			continue
+		}
+		if e.policies == nil {
+			e.policies = make([]graph.FailurePolicy, len(a.plan.Tasks))
+		}
+		e.policies[t.ID] = pol
+	}
+	if e.policies != nil {
+		e.faultRoute = make([]*EventQueue, len(a.plan.Tasks))
+		e.faultMgr = make([]int32, len(a.plan.Tasks))
+		for _, t := range a.plan.Tasks {
+			e.faultMgr[t.ID] = -1
+			// Scope lists enclosing managers outermost first; deliver to
+			// the innermost one that polls a queue.
+			for i := len(t.Scope) - 1; i >= 0; i-- {
+				m := a.managers[t.Scope[i]]
+				if m != nil && m.Queue != "" {
+					e.faultRoute[t.ID] = a.queues[m.Queue]
+					e.faultMgr[t.ID] = int32(e.mgrIndex[m.Name])
+					break
+				}
+			}
+		}
+	}
 	return e
+}
+
+// policyFor returns task t's failure policy (the zero value is
+// fail-fast with no deadline).
+func (e *engine) policyFor(t *graph.Task) graph.FailurePolicy {
+	if e.policies == nil {
+		return graph.FailurePolicy{}
+	}
+	return e.policies[t.ID]
 }
 
 // traceShard maps the acting worker to its tracer shard: shard 0 is
@@ -950,11 +1005,26 @@ func (e *engine) applyReconfig(name string, st *mgrState, w *wsWorker) (*reconfi
 	return res, firstErr
 }
 
-// executeComponent runs a component job in rc (reset in place, so a
-// worker reuses one context — and its accumulated-cost slices — across
-// jobs). It must be called WITHOUT mu held on the real backend.
-func (e *engine) executeComponent(rc *RunContext, j job, inst *instance, sim bool) error {
+// executeComponent runs one attempt of a component job in rc (reset in
+// place, so a worker reuses one context — and its accumulated-cost
+// slices — across jobs). Panics from the component (or an injected
+// FaultPanic) are contained: they surface as ordinary errors instead of
+// taking down the worker, and the context's next reset clears any
+// state the aborted Run accumulated, so the reused RunContext is never
+// poisoned. It must be called WITHOUT mu held on the real backend.
+func (e *engine) executeComponent(rc *RunContext, j job, inst *instance, sim bool, inject FaultKind) (err error) {
 	rc.reset(e.app, j.task, j.iter, sim)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hinch: component %s@%d panicked: %v", j.task.Name, j.iter, r)
+		}
+	}()
+	switch inject {
+	case FaultError:
+		return fmt.Errorf("injected fault")
+	case FaultPanic:
+		panic("injected fault")
+	}
 	if inst.recon != nil {
 		for _, req := range inst.takeMail() {
 			if err := inst.recon.Reconfigure(req); err != nil {
@@ -963,6 +1033,143 @@ func (e *engine) executeComponent(rc *RunContext, j job, inst *instance, sim boo
 		}
 	}
 	return inst.comp.Run(rc)
+}
+
+// runOutcome summarises one policied component execution.
+type runOutcome struct {
+	err     error // error to hand to handleRunError (EOS or fatal); nil otherwise
+	faulted bool  // the iteration was holed (skip-iteration or retry exhaustion)
+	faults  int64 // contained failed attempts
+	retries int64 // re-attempts made
+	virtual int64 // extra virtual cycles to charge on sim (backoff + injected delay)
+}
+
+// runPolicied executes a component job under its failure policy:
+// consult the fault injector before each attempt, contain failures,
+// retry with backoff (virtual cycles on sim, a sleep on real), and on
+// exhaustion — or a skip-iteration policy — hole the iteration and
+// emit a fault event to the owning manager. Injection happens before
+// Run so a failed injected attempt never has partial side effects.
+// Lock-free; must be called WITHOUT mu held on the real backend.
+func (e *engine) runPolicied(rc *RunContext, j job, inst *instance, sim bool) runOutcome {
+	pol := e.policyFor(j.task)
+	var out runOutcome
+	var start time.Time
+	if !sim && pol.Deadline > 0 {
+		start = time.Now()
+	}
+	for attempt := 0; ; attempt++ {
+		var f Fault
+		if e.faults != nil {
+			f = e.faults.Inject(j.task.Name, j.iter, attempt)
+			if f.Kind == FaultDelay {
+				// A latency spike at the component boundary; the attempt
+				// itself then runs normally.
+				if sim {
+					out.virtual += int64(f.Delay)
+				} else {
+					time.Sleep(f.Delay)
+				}
+				f = Fault{}
+			}
+		}
+		err := e.executeComponent(rc, j, inst, sim, f.Kind)
+		if err == nil {
+			if !sim && pol.Deadline > 0 && time.Since(start) > pol.Deadline {
+				// Wall-deadline watchdog (real backend): the overrun
+				// degrades like an exhausted policy, but the job
+				// succeeded, so its outputs stand and the iteration is
+				// not holed. The sim backend's cost-budget twin lives in
+				// execJobSim, where the job's virtual cost is known.
+				e.degrade(j, "deadline exceeded", rc.shard)
+			}
+			return out
+		}
+		if errors.Is(err, EOS) {
+			out.err = err
+			return out
+		}
+		out.faults++
+		if e.tr != nil {
+			e.tr.Emit(rc.shard, TraceEvent{
+				TS: e.rcTS(rc.shard), Kind: TraceFault,
+				Worker: int32(rc.shard - 1), Iter: int32(j.iter), ID: int32(j.task.ID), Arg: int64(attempt + 1),
+			})
+		}
+		if pol.Action == graph.PolicyRetry && attempt < pol.Retries {
+			out.retries++
+			back := pol.BackoffAt(attempt)
+			if sim {
+				out.virtual += int64(back)
+			} else {
+				time.Sleep(back)
+			}
+			if e.tr != nil {
+				e.tr.Emit(rc.shard, TraceEvent{
+					TS: e.rcTS(rc.shard), Kind: TraceRetry,
+					Worker: int32(rc.shard - 1), Iter: int32(j.iter), ID: int32(j.task.ID), Arg: int64(back),
+				})
+			}
+			continue
+		}
+		if pol.Action == graph.PolicyFail {
+			out.err = err
+			return out
+		}
+		// skip-iteration, or retries exhausted: drop the iteration and
+		// degrade through the owning manager. With no manager to hear
+		// the fault the failure escalates to a run abort.
+		if !e.faultIteration(j, err, rc.shard) {
+			out.err = fmt.Errorf("no enclosing manager handles faults: %w", err)
+			return out
+		}
+		out.faulted = true
+		return out
+	}
+}
+
+// faultIteration holes iteration j.iter after a contained failure: the
+// iteration is cancelled — its remaining jobs, the sink included, run
+// as zero-cost no-ops and retirement does not count it — and a fault
+// event is pushed to the owning manager's queue so ordinary bindings
+// can degrade the configuration. It reports false when no enclosing
+// manager polls a queue (the failure must escalate). Lock-free: the
+// cancel is an atomic store and the queue serialises itself.
+func (e *engine) faultIteration(j job, cause error, shard int) bool {
+	if e.faultRoute == nil || e.faultRoute[j.task.ID] == nil {
+		return false
+	}
+	if it := e.iterAt(j.iter); it != nil {
+		it.cancelled.Store(true)
+	}
+	e.degrade(j, cause.Error(), shard)
+	return true
+}
+
+// degrade emits a synthetic fault(task, reason) event into the queue of
+// the innermost queued manager enclosing j's task and counts the
+// degradation. The event is an ordinary XSPCL event — bindings like
+// <on event="fault" action="disable" option="..."/> perform the actual
+// reconfiguration through the unchanged manager protocol. A task with
+// no fault route degrades silently (the analyzer's faults pass flags
+// such programs). Lock-free.
+func (e *engine) degrade(j job, reason string, shard int) {
+	if e.faultRoute == nil {
+		return
+	}
+	q := e.faultRoute[j.task.ID]
+	if q == nil {
+		return
+	}
+	e.app.metrics.degradations.Add(1)
+	depth := q.Push(Event{Name: graph.FaultEvent, Arg: fmt.Sprintf("%s@%d: %s", j.task.Name, j.iter, reason)})
+	e.app.metrics.eventsEmitted.Add(1)
+	if e.tr != nil {
+		e.tr.Emit(shard, TraceEvent{
+			TS: e.rcTS(shard), Kind: TraceDegrade,
+			Worker: int32(shard - 1), Iter: int32(j.iter), ID: e.faultMgr[j.task.ID], Arg: int64(depth),
+		})
+	}
 }
 
 // resolveInstance fetches the component instance for a job. Lock-free:
@@ -976,16 +1183,16 @@ func (e *engine) resolveInstance(j job) (*instance, error) {
 }
 
 // handleRunError classifies a component error: EOS cancels the tail of
-// the run; anything else aborts it. Must be called with mu held on the
-// real backend.
+// the run; anything else aborts it. Distinct failures from concurrent
+// workers aggregate with errors.Join so Run reports all of them, not
+// just whichever worker took the lock first. Must be called with mu
+// held on the real backend.
 func (e *engine) handleRunError(j job, err error) {
 	if errors.Is(err, EOS) {
 		e.noteEOS(j.iter)
 		return
 	}
-	if e.err == nil {
-		e.err = fmt.Errorf("hinch: %s@%d: %w", j.task.Name, j.iter, err)
-	}
+	e.err = errors.Join(e.err, fmt.Errorf("hinch: %s@%d: %w", j.task.Name, j.iter, err))
 }
 
 // report assembles the final Report. Must be called after execution has
@@ -1000,8 +1207,11 @@ func (e *engine) report() *Report {
 		ReconfigStall: e.stall,
 		EventsEmitted: e.app.metrics.eventsEmitted.Load(),
 	}
+	r.Degradations = e.app.metrics.degradations.Load()
 	for k, v := range e.perClass {
 		r.PerClass[k] = *v
+		r.Faults += v.Faults
+		r.Retries += v.Retries
 	}
 	if e.app.tile != nil {
 		r.Cache = e.app.tile.Stats()

@@ -16,6 +16,8 @@ type ClassStats struct {
 	Jobs      int64 `json:"jobs"`       // jobs executed
 	Ops       int64 `json:"ops"`        // arithmetic operations charged (sim)
 	MemCycles int64 `json:"mem_cycles"` // memory latency cycles charged (sim)
+	Faults    int64 `json:"faults"`     // contained component failures (failed attempts)
+	Retries   int64 `json:"retries"`    // re-attempts made under a retry policy
 }
 
 // SchedStats aggregates the real backend's work-stealing scheduler
@@ -60,6 +62,15 @@ type Report struct {
 	ReconfigStall int64
 	// EventsEmitted counts events pushed to queues during the run.
 	EventsEmitted int64
+	// Faults counts contained component failures (failed attempts under
+	// a non-fail policy or the fault injector); per-task breakdown in
+	// PerClass.
+	Faults int64
+	// Retries counts component re-attempts made under retry policies.
+	Retries int64
+	// Degradations counts synthetic fault events emitted to managers
+	// (policy exhaustion, skipped iterations, watchdog overruns).
+	Degradations int64
 	// Sched holds the work-stealing scheduler counters (real backend).
 	Sched SchedStats
 }
@@ -99,6 +110,9 @@ func (r *Report) String() string {
 	}
 	if r.EventsEmitted > 0 {
 		fmt.Fprintf(&b, " events=%d", r.EventsEmitted)
+	}
+	if r.Faults > 0 || r.Retries > 0 || r.Degradations > 0 {
+		fmt.Fprintf(&b, " faults=%d retries=%d degradations=%d", r.Faults, r.Retries, r.Degradations)
 	}
 	if r.Sched != (SchedStats{}) {
 		fmt.Fprintf(&b, " steals=%d/%d global=%d parks=%d wakes=%d",
@@ -142,6 +156,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Reconfigs          int                   `json:"reconfigs"`
 		ReconfigStall      int64                 `json:"reconfig_stall"`
 		EventsEmitted      int64                 `json:"events_emitted"`
+		Faults             int64                 `json:"faults"`
+		Retries            int64                 `json:"retries"`
+		Degradations       int64                 `json:"degradations"`
 		Sched              SchedStats            `json:"sched"`
 		Cache              cacheJSON             `json:"cache"`
 		CoreBusy           []int64               `json:"core_busy,omitempty"`
@@ -158,6 +175,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Reconfigs:          r.Reconfigs,
 		ReconfigStall:      r.ReconfigStall,
 		EventsEmitted:      r.EventsEmitted,
+		Faults:             r.Faults,
+		Retries:            r.Retries,
+		Degradations:       r.Degradations,
 		Sched:              r.Sched,
 		Cache: cacheJSON{
 			L1Hits:        r.Cache.L1Hits,
@@ -177,4 +197,5 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 type metrics struct {
 	jobs          atomic.Int64
 	eventsEmitted atomic.Int64
+	degradations  atomic.Int64
 }

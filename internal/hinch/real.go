@@ -1,6 +1,7 @@
 package hinch
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -50,13 +51,15 @@ func (e *engine) runReal() (*Report, error) {
 		ss.Wakes += w.wakes
 		for _, t := range e.app.plan.Tasks {
 			cs := &w.stats[t.ID]
-			if cs.Jobs == 0 && cs.Ops == 0 && cs.MemCycles == 0 {
+			if cs.Jobs == 0 && cs.Ops == 0 && cs.MemCycles == 0 && cs.Faults == 0 && cs.Retries == 0 {
 				continue
 			}
 			dst := e.classStats(t)
 			dst.Jobs += cs.Jobs
 			dst.Ops += cs.Ops
 			dst.MemCycles += cs.MemCycles
+			dst.Faults += cs.Faults
+			dst.Retries += cs.Retries
 		}
 	}
 	ss.Wakes += e.ws.extWakes.Load()
@@ -189,13 +192,17 @@ func (e *engine) execReal(w *wsWorker, j job) {
 	}
 	w.jobs++
 	w.stats[j.task.ID].Jobs++
-	runErr := e.executeComponent(&w.rc, j, inst, false)
+	out := e.runPolicied(&w.rc, j, inst, false)
+	if out.faults > 0 || out.retries > 0 {
+		w.stats[j.task.ID].Faults += out.faults
+		w.stats[j.task.ID].Retries += out.retries
+	}
 	if e.tr != nil {
 		e.traceSpan(w, j)
 	}
-	if runErr != nil {
+	if out.err != nil {
 		e.mu.Lock()
-		e.handleRunError(j, runErr)
+		e.handleRunError(j, out.err)
 		fatal := e.err
 		e.mu.Unlock()
 		if fatal != nil {
@@ -254,12 +261,11 @@ func (e *engine) finishReal(w *wsWorker, j job) {
 	}
 }
 
-// failReal records the first error and stops the run.
+// failReal records an error (aggregating with any the run already
+// collected) and stops the run.
 func (e *engine) failReal(err error) {
 	e.mu.Lock()
-	if e.err == nil {
-		e.err = err
-	}
+	e.err = errors.Join(e.err, err)
 	e.mu.Unlock()
 	e.ws.finish()
 }

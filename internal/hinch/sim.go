@@ -167,9 +167,9 @@ func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 			return 0, false, err
 		}
 		rc := &e.simRC
-		err = e.executeComponent(rc, j, inst, true)
-		if err != nil {
-			e.handleRunError(j, err)
+		out := e.runPolicied(rc, j, inst, true)
+		if out.err != nil {
+			e.handleRunError(j, out.err)
 			if e.err != nil {
 				return 0, false, e.err
 			}
@@ -185,7 +185,17 @@ func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 		}
 		cs.Ops += rc.compute
 		cs.MemCycles += mem
-		return cost + rc.compute + mem, true, nil
+		cs.Faults += out.faults
+		cs.Retries += out.retries
+		dur = cost + rc.compute + mem + out.virtual
+		// Cost-budget watchdog (sim): a successful job whose virtual
+		// cost overruns its deadline (1ns = 1 cycle) degrades exactly
+		// like the real backend's wall-deadline overrun — a fault event
+		// is emitted but the job's outputs stand.
+		if dl := e.policyFor(j.task).Deadline; dl > 0 && out.err == nil && !out.faulted && dur > int64(dl) {
+			e.degrade(j, fmt.Sprintf("cost budget exceeded (%d cycles)", dur), 0)
+		}
+		return dur, true, nil
 	}
 	return 0, false, fmt.Errorf("hinch: unknown task role %v", j.task.Role)
 }

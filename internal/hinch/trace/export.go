@@ -142,6 +142,9 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 	reconfigs := map[int32]*reconfig{}
 	flowID := 0
 	highwater := map[string]int64{}
+	// Degrade→halt pairing: a fault event pushed to manager m's queue
+	// starts a flow arrow that lands on the reconfiguration it causes.
+	degradeFlows := map[int32][]string{}
 
 	for _, rc := range all {
 		ev := rc.ev
@@ -218,8 +221,45 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 					TS: start, Dur: durUS(start, us(ev.TS)), PID: 0, TID: tid(ev.Worker),
 				})
 			}
+		case hinch.TraceRetry:
+			// A retry span: the failed attempt's backoff window on the
+			// worker that executes the re-attempt.
+			events = append(events, chromeEvent{
+				Name: "retry " + nameOf(meta.Tasks, ev.ID, "task"), Cat: "fault", Ph: "X",
+				TS: us(ev.TS), Dur: dur(ev.Arg), PID: 0, TID: tid(ev.Worker),
+				Args: map[string]any{"iter": ev.Iter, "backoff": ev.Arg},
+			})
+		case hinch.TraceFault:
+			events = append(events, chromeEvent{
+				Name: "fault " + nameOf(meta.Tasks, ev.ID, "task"), Cat: "fault", Ph: "i",
+				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "t",
+				Args: map[string]any{"iter": ev.Iter, "attempt": ev.Arg},
+			})
+		case hinch.TraceDegrade:
+			// Start a fault→reconfig flow arrow; it finishes at the halt
+			// this fault event triggers (dropped if the manager ignores
+			// it — e.g. the fallback is already active).
+			flowID++
+			id := fmt.Sprintf("fault-%d", flowID)
+			degradeFlows[ev.ID] = append(degradeFlows[ev.ID], id)
+			events = append(events, chromeEvent{
+				Name: "degrade " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault", Ph: "i",
+				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "p",
+				Args: map[string]any{"iter": ev.Iter, "queue_depth": ev.Arg},
+			}, chromeEvent{
+				Name: "fault " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault", Ph: "s",
+				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), ID: id,
+			})
 		case hinch.TraceReconfigHalt:
 			reconfigs[ev.ID] = &reconfig{halt: us(ev.TS), seen: 1}
+			for _, id := range degradeFlows[ev.ID] {
+				events = append(events, chromeEvent{
+					Name: "fault " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault",
+					Ph: "f", BP: "e",
+					TS: us(ev.TS), PID: 0, TID: runtimeTID, ID: id,
+				})
+			}
+			delete(degradeFlows, ev.ID)
 		case hinch.TraceReconfigApply:
 			if rc := reconfigs[ev.ID]; rc != nil && rc.seen == 1 {
 				rc.apply = us(ev.TS)

@@ -77,6 +77,16 @@ const (
 	// TraceReconfigResume: manager ID's pipeline fully drained and the
 	// parked iterations resumed.
 	TraceReconfigResume
+	// TraceRetry: task ID's attempt failed and a retry was scheduled
+	// under its failure policy. Arg = the backoff (cycles or ns).
+	TraceRetry
+	// TraceFault: an attempt of task ID failed and was contained by a
+	// failure policy. Arg = the attempt number (1-based).
+	TraceFault
+	// TraceDegrade: a synthetic fault event was emitted to manager ID's
+	// queue (policy exhaustion or watchdog overrun). Arg = queue depth
+	// after the push.
+	TraceDegrade
 )
 
 // String names the kind for exporters and diagnostics.
@@ -114,6 +124,12 @@ func (k TraceKind) String() string {
 		return "reconfig-apply"
 	case TraceReconfigResume:
 		return "reconfig-resume"
+	case TraceRetry:
+		return "retry"
+	case TraceFault:
+		return "fault"
+	case TraceDegrade:
+		return "degrade"
 	}
 	return "unknown"
 }

@@ -85,6 +85,8 @@ type Component struct {
 	Streams  []StreamRef
 	Inits    []InitParam
 	Reconfig string // optional initial reconfiguration request (paper §3.1)
+	OnError  string // failure policy attribute (fail | skip-iteration | retry:N[,backoff=Kx])
+	Deadline string // per-job budget attribute (Go duration)
 }
 
 // StreamRef connects a component port to a stream.
@@ -245,7 +247,10 @@ func decodeItem(d *xml.Decoder, start xml.StartElement) (Item, error) {
 }
 
 func decodeComponent(d *xml.Decoder, start xml.StartElement) (*Component, error) {
-	c := &Component{Name: attr(start, "name"), Class: attr(start, "class")}
+	c := &Component{
+		Name: attr(start, "name"), Class: attr(start, "class"),
+		OnError: attr(start, "on_error"), Deadline: attr(start, "deadline"),
+	}
 	err := decodeChildren(d, start, func(dd *xml.Decoder, s xml.StartElement) error {
 		switch s.Name.Local {
 		case "stream":

@@ -148,6 +148,20 @@ func (el *elaborator) component(c *Component, prefix string, e env) (*graph.Node
 		}
 		n.Params[ReconfigParam] = req
 	}
+	if c.OnError != "" {
+		v, err := subst(c.OnError, e, where)
+		if err != nil {
+			return nil, err
+		}
+		n.Params[graph.OnErrorParam] = v
+	}
+	if c.Deadline != "" {
+		v, err := subst(c.Deadline, e, where)
+		if err != nil {
+			return nil, err
+		}
+		n.Params[graph.DeadlineParam] = v
+	}
 	return n, nil
 }
 
@@ -293,11 +307,22 @@ func (el *elaborator) option(o *Option, prefix string, e env, stack []string) (*
 	return n, nil
 }
 
-// Load parses and elaborates a specification in one step.
+// Load parses and elaborates a specification in one step, then checks
+// the catalog-independent graph invariants (stream references, option
+// placement, policy attribute syntax) so a malformed document fails
+// here rather than at engine construction. Class/port checks still
+// need a component catalog and run in Program.Validate at NewApp.
 func Load(src string) (*graph.Program, error) {
 	doc, err := ParseString(src)
 	if err != nil {
 		return nil, err
 	}
-	return Elaborate(doc)
+	prog, err := Elaborate(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(nil); err != nil {
+		return nil, err
+	}
+	return prog, nil
 }

@@ -65,12 +65,19 @@ func emitXMLNode(b *strings.Builder, n *graph.Node, depth int) error {
 	ind := strings.Repeat("  ", depth)
 	switch n.Kind {
 	case graph.KindComponent:
-		fmt.Fprintf(b, "%s<component name=%q class=%q>\n", ind, n.Name, n.Class)
+		fmt.Fprintf(b, "%s<component name=%q class=%q", ind, n.Name, n.Class)
+		if v, ok := n.Params[graph.OnErrorParam]; ok {
+			fmt.Fprintf(b, " on_error=%q", xmlEscape(v))
+		}
+		if v, ok := n.Params[graph.DeadlineParam]; ok {
+			fmt.Fprintf(b, " deadline=%q", xmlEscape(v))
+		}
+		b.WriteString(">\n")
 		for _, port := range sortedKeysOf(n.Ports) {
 			fmt.Fprintf(b, "%s  <stream port=%q name=%q/>\n", ind, port, n.Ports[port])
 		}
 		for _, p := range sortedKeysOf(n.Params) {
-			if p == graph.ReconfigParam {
+			if p == graph.ReconfigParam || p == graph.OnErrorParam || p == graph.DeadlineParam {
 				continue
 			}
 			fmt.Fprintf(b, "%s  <init name=%q value=%q/>\n", ind, p, xmlEscape(n.Params[p]))

@@ -1,0 +1,119 @@
+package xspcl
+
+import (
+	"strings"
+	"testing"
+
+	"xspcl/internal/graph"
+)
+
+// faultDoc declares failure policies the way a user writes them: plain
+// on_error / deadline attributes on the component element, under a
+// manager that degrades to a fallback option on the fault event.
+const faultDoc = `
+<xspcl name="ft">
+  <streams>
+    <stream name="a"/>
+    <stream name="b"/>
+  </streams>
+  <queues>
+    <queue name="fq"/>
+  </queues>
+  <procedure name="main">
+    <body>
+      <component name="src" class="nullsrc">
+        <stream port="out" name="a"/>
+      </component>
+      <manager name="deg" queue="fq">
+        <on event="fault" action="disable" option="primary"/>
+        <on event="fault" action="enable" option="backup"/>
+        <body>
+          <option name="primary" default="on">
+            <body>
+              <component name="p1" class="nullfilter" on_error="retry:2,backoff=2x,base=100us" deadline="20ms">
+                <stream port="in" name="a"/>
+                <stream port="out" name="b"/>
+              </component>
+            </body>
+          </option>
+          <option name="backup" default="off">
+            <body>
+              <component name="b1" class="nullfilter">
+                <stream port="in" name="a"/>
+                <stream port="out" name="b"/>
+              </component>
+            </body>
+          </option>
+        </body>
+      </manager>
+      <component name="snk" class="nullsink">
+        <stream port="in" name="b"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>`
+
+// TestPolicyAttrsElaborate: on_error/deadline attributes land in the
+// elaborated graph as the reserved params the runtime parses.
+func TestPolicyAttrsElaborate(t *testing.T) {
+	prog := mustLoad(t, faultDoc)
+	var p1 *graph.Node
+	graph.Walk(prog.Root, func(n *graph.Node) {
+		if n.Kind == graph.KindComponent && n.Name == "p1" {
+			p1 = n
+		}
+	})
+	if p1 == nil {
+		t.Fatal("component p1 not found")
+	}
+	if got := p1.Params[graph.OnErrorParam]; got != "retry:2,backoff=2x,base=100us" {
+		t.Fatalf("on_error param = %q", got)
+	}
+	if got := p1.Params[graph.DeadlineParam]; got != "20ms" {
+		t.Fatalf("deadline param = %q", got)
+	}
+	pol, err := graph.NodePolicy(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Action != graph.PolicyRetry || pol.Retries != 2 || pol.BackoffFactor != 2 || pol.Deadline == 0 {
+		t.Fatalf("parsed policy %+v", pol)
+	}
+}
+
+// TestPolicyAttrsRoundTrip: the policy attributes survive
+// emit → parse → emit unchanged (as attributes, not init params).
+func TestPolicyAttrsRoundTrip(t *testing.T) {
+	prog := mustLoad(t, faultDoc)
+	if err := VerifyRoundTrip(prog); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := EmitXML(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`on_error="retry:2,backoff=2x,base=100us"`, `deadline="20ms"`} {
+		if !strings.Contains(xml, want) {
+			t.Fatalf("emitted XML missing %s:\n%s", want, xml)
+		}
+	}
+	if strings.Contains(xml, "@on_error") || strings.Contains(xml, "@deadline") {
+		t.Fatalf("reserved param names leaked into the XML:\n%s", xml)
+	}
+}
+
+// TestPolicyAttrsRejected: malformed policy attributes fail at load
+// time, not at engine construction.
+func TestPolicyAttrsRejected(t *testing.T) {
+	for _, tc := range []struct{ name, old, new, wantErr string }{
+		{"bad on_error", `on_error="retry:2,backoff=2x,base=100us"`, `on_error="explode"`, "on_error"},
+		{"bad deadline", `deadline="20ms"`, `deadline="whenever"`, "deadline"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.Replace(faultDoc, tc.old, tc.new, 1)
+			if _, err := Load(doc); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Load error = %v, want mention of %s", err, tc.wantErr)
+			}
+		})
+	}
+}

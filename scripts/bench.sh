@@ -10,7 +10,8 @@
 #     BenchmarkSimSchedule/BenchmarkRealSchedule (internal/hinch), run
 #     at -cpu 1,4,8 to show work-stealing scaling, plus
 #     BenchmarkTraceOverhead (flight-recorder cost: nil vs ring tracer
-#     on the scheduler-bound workload).
+#     on the scheduler-bound workload) and BenchmarkFaultFreeOverhead
+#     (fault-tolerance idle cost: default vs never-firing policies).
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
 #   - Analyzer benches (internal/analysis): xspclvet wall time on every
@@ -70,6 +71,10 @@ run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig1
 run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
 run_bench ./ 'BenchmarkTraceOverhead' -benchmem
 run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
+# Fault-tolerance idle cost: the same scheduler-bound workload with the
+# machinery unused (nil injector / never-firing policies) — tracked so
+# the fault-free fast path stays free.
+run_bench ./internal/hinch/ 'BenchmarkFaultFreeOverhead' -benchmem
 run_bench ./internal/kernels/ '.' -benchmem
 # Static-analyzer wall time on every built-in app variant: xspclvet
 # runs on each xspclc invocation, so its cost is part of the perf
