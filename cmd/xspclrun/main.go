@@ -46,13 +46,14 @@ func main() {
 	traceOut := flag.String("trace", "", "record a flight-recorder trace and write Perfetto JSON to this file")
 	report := flag.String("report", "text", "report format: text or json")
 	inject := flag.String("inject-faults", "", `inject deterministic faults, e.g. "seed=1,task=jdec,from=8" (see hinch.ParseFaultSpec)`)
+	pin := flag.Bool("pin", false, "pin real-backend workers to CPUs (Linux affinity; near-core steal order)")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *traceOut, *report, *inject); err != nil {
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *pin, *traceOut, *report, *inject); err != nil {
 		stop()
 		fail(err)
 	}
@@ -61,8 +62,8 @@ func main() {
 	}
 }
 
-func run(cores, frames, pipeline int, backend, builtin string, workless bool, traceOut, report, inject string) error {
-	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless}
+func run(cores, frames, pipeline int, backend, builtin string, workless, pin bool, traceOut, report, inject string) error {
+	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless, PinWorkers: pin}
 	switch backend {
 	case "sim":
 		cfg.Backend = hinch.BackendSim

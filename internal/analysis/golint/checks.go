@@ -337,6 +337,86 @@ func shardArgOK(arg ast.Expr, locked bool) (bool, string) {
 	}
 }
 
+// ---------------------------------------------------------------- hotalloc
+
+// hotpathDirective marks a function on the scheduler's steady-state
+// dispatch path, where per-iteration allocation is a performance bug:
+// the zero-allocation property is pinned by TestSchedulerSteadyStateAllocs,
+// and a single make() on this path shows up as N allocations per run.
+const hotpathDirective = "hinch:hotpath"
+
+// hotallocWaiver on (or at the end of) a line waives the hotalloc
+// finding for calls on that line — for allocations that provably run
+// only on cold sub-paths (first touch, error handling, growth beyond a
+// preallocated capacity).
+const hotallocWaiver = "hotalloc:ok"
+
+var hotallocCheck = Check{
+	Name: "hotalloc",
+	Doc:  "//hinch:hotpath functions must not allocate (no make / NewFrame; pool or preallocate)",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(p *Pkg) []Diag {
+	var diags []Diag
+	for _, f := range p.Files {
+		// Collect the lines carrying a waiver comment first: the
+		// comments are not attached to the expression nodes they waive.
+		waived := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, hotallocWaiver) {
+					waived[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn, hotpathDirective) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				what := ""
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "make" {
+						what = "make"
+					} else if fun.Name == "NewFrame" {
+						what = "NewFrame"
+					}
+				case *ast.SelectorExpr:
+					// media.NewFrame and friends: any NewFrame
+					// constructor; GetFrame is the pooled twin and is
+					// what hot paths should call instead.
+					if fun.Sel.Name == "NewFrame" {
+						what = exprString(fun.X) + ".NewFrame"
+					}
+				}
+				if what == "" {
+					return true
+				}
+				pos := p.Fset.Position(call.Pos())
+				if waived[pos.Line] {
+					return true
+				}
+				diags = append(diags, Diag{
+					Pos:   pos,
+					Check: "hotalloc",
+					Message: fmt.Sprintf(
+						"%s allocates inside //hinch:hotpath function %s (pool or preallocate; waive a cold sub-path with // %s)",
+						what, fn.Name.Name, hotallocWaiver),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
 // ---------------------------------------------------------- lockdiscipline
 
 var lockdisciplineCheck = Check{

@@ -12,7 +12,11 @@
 //     goroutine);
 //   - lockdiscipline: functions documented "Must be called with mu
 //     held" must not take mu again or call into functions documented
-//     "WITHOUT mu held".
+//     "WITHOUT mu held";
+//   - hotalloc: functions marked //hinch:hotpath (the scheduler's
+//     steady-state dispatch path) must not allocate — no make() and no
+//     NewFrame constructor calls; pool (media.GetFrame) or preallocate
+//     instead, or waive a provably cold sub-path with // hotalloc:ok.
 //
 // The checks are stdlib-only (go/ast + go/parser; the x/tools
 // go/analysis driver is deliberately not a dependency) and run both
@@ -56,7 +60,7 @@ type Check struct {
 }
 
 // Checks lists every check in execution order.
-var Checks = []Check{nilguardCheck, traceshardCheck, lockdisciplineCheck}
+var Checks = []Check{nilguardCheck, traceshardCheck, lockdisciplineCheck, hotallocCheck}
 
 // LoadDir parses every .go file directly in dir (tests included — the
 // invariants hold there too).

@@ -176,6 +176,58 @@ func (e *E) f(in *I) { in.mu.Lock() }
 `)
 }
 
+func TestHotalloc(t *testing.T) {
+	// make and NewFrame inside a hot-path function are flagged.
+	expect(t, `package p
+// f dispatches. It is hot.
+//
+//hinch:hotpath
+func f() {
+	buf := make([]byte, 64)
+	fr := media.NewFrame(64, 48)
+	_, _ = buf, fr
+}
+`, "hotalloc: make allocates inside //hinch:hotpath function f",
+		"hotalloc: media.NewFrame allocates inside //hinch:hotpath function f")
+
+	// Unannotated functions allocate freely; the pooled GetFrame is
+	// always fine.
+	expect(t, `package p
+func g() { _ = make([]byte, 64) }
+
+//hinch:hotpath
+func h() { _ = media.GetFrame(64, 48) }
+`)
+
+	// A bare NewFrame call (same package) is also flagged.
+	expect(t, `package p
+//hinch:hotpath
+func f() { _ = NewFrame(64, 48) }
+`, "hotalloc: NewFrame allocates inside //hinch:hotpath function f")
+
+	// The waiver comment exempts a cold sub-path line, and only that
+	// line.
+	expect(t, `package p
+//hinch:hotpath
+func f(n int) {
+	if n > cap(buf) {
+		buf = make([]byte, n) // hotalloc:ok — first touch only
+	}
+	_ = make([]int, n)
+}
+`, "hotalloc: make allocates inside //hinch:hotpath function f")
+
+	// Function literals inside a hot-path function inherit the
+	// constraint (they run on the same path).
+	expect(t, `package p
+//hinch:hotpath
+func f() {
+	g := func() { _ = make([]byte, 1) }
+	g()
+}
+`, "hotalloc: make allocates inside //hinch:hotpath function f")
+}
+
 // TestHinchClean pins the checks to the tree: the hinch runtime (and
 // its trace package) must satisfy every invariant. This is the test
 // that makes the conventions load-bearing rather than aspirational.

@@ -22,6 +22,12 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset discards any pending bits and makes w append to buf, so one
+// Writer (and buf's backing array) can serve many encode passes. Pass
+// the result of Bytes back in to keep appending after a flush, or a
+// caller-owned slice to write directly into it.
+func (w *Writer) Reset(buf []byte) { w.buf, w.cur, w.ncur = buf, 0, 0 }
+
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 32] and v must fit in n bits.
 func (w *Writer) WriteBits(v uint32, n uint) {

@@ -48,6 +48,24 @@ type Config struct {
 	// data is then meaningless; checksum-comparing tests must not set it.
 	Workless bool
 
+	// PinWorkers binds each real-backend worker goroutine to its own OS
+	// thread and, on Linux, sets that thread's CPU affinity to core
+	// (worker id mod NumCPU). Steal-victim scanning then prefers
+	// near-id workers, so work migrates between adjacent cores first.
+	// Best effort: on other platforms only the thread binding applies.
+	// Ignored by BackendSim.
+	PinWorkers bool
+
+	// EagerWorkers starts every real-backend worker goroutine up front.
+	// By default workers beyond worker 0 are brought online on demand
+	// and never beyond the host's usable parallelism
+	// (min(NumCPU, GOMAXPROCS)) — oversubscribing dispatch workers only
+	// adds thread churn — so a run on a small host may never exercise
+	// true cross-worker concurrency. Concurrency-sensitive tests set
+	// this to force all Cores workers into play. Implied by PinWorkers
+	// and by TestHooks. Ignored by BackendSim.
+	EagerWorkers bool
+
 	// Tile overrides the simulated tile configuration. When nil,
 	// spacecake.DefaultConfig(Cores) is used. Ignored by BackendReal.
 	Tile *spacecake.Config
@@ -173,6 +191,16 @@ type App struct {
 	// lookup on the hot path is a lock-free atomic load.
 	instances atomic.Pointer[map[string]*instance]
 
+	// instTab mirrors instances as a task-ID-indexed slice, rebuilt on
+	// every instance-table change: the per-job resolve on the dispatch
+	// hot path becomes an index load instead of a string-map lookup.
+	instTab atomic.Pointer[[]*instance]
+
+	// portBinds[taskID] lists the task's port→stream bindings, resolved
+	// once at build time. Components bind a handful of ports, so the
+	// per-access linear scan beats the two map lookups it replaces.
+	portBinds [][]portBind
+
 	options     map[string]bool   // currently applied option states
 	optionOwner map[string]string // option name -> innermost enclosing manager
 	plan        *graph.Plan       // the superplan (all options enabled)
@@ -265,7 +293,43 @@ func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
 			initial[t.Name] = inst
 		}
 	}
+	a.rebuildInstTab()
+	a.portBinds = make([][]portBind, len(plan.Tasks))
+	for _, t := range plan.Tasks {
+		binds := make([]portBind, 0, len(t.Ports))
+		for port, streamName := range t.Ports {
+			s, ok := a.streams[streamName]
+			if !ok {
+				return nil, fmt.Errorf("hinch: task %q port %q bound to unknown stream %q", t.Name, port, streamName)
+			}
+			binds = append(binds, portBind{port: port, s: s})
+		}
+		a.portBinds[t.ID] = binds
+	}
+	// The engine (and, on the real backend, the work-stealing scheduler
+	// with its per-worker state) is built here rather than in Run, so
+	// the dispatch path starts with its rings, free-lists and deques
+	// already sized — Run's steady state allocates nothing for them.
+	a.eng = newEngine(a)
 	return a, nil
+}
+
+// portBind is one resolved port→stream binding of a task.
+type portBind struct {
+	port string
+	s    *Stream
+}
+
+// rebuildInstTab republishes the task-ID-indexed instance table from
+// the current instance map. Writers are serialised (NewApp is
+// single-threaded; the engine mutates instances only under its lock).
+func (a *App) rebuildInstTab() {
+	m := *a.instances.Load()
+	tab := make([]*instance, len(a.plan.Tasks))
+	for _, t := range a.plan.Tasks {
+		tab[t.ID] = m[t.Name]
+	}
+	a.instTab.Store(&tab)
 }
 
 // optionOwners maps each option to its innermost enclosing manager.
@@ -306,6 +370,7 @@ func (a *App) storeInstance(in *instance) {
 	}
 	m[in.name] = in
 	a.instances.Store(&m)
+	a.rebuildInstTab()
 }
 
 // removeInstance publishes a new instance table without name. Writers
@@ -322,6 +387,7 @@ func (a *App) removeInstance(name string) {
 		}
 	}
 	a.instances.Store(&m)
+	a.rebuildInstTab()
 }
 
 // createInstance builds, initialises and publishes the component for a
@@ -419,13 +485,23 @@ func (a *App) Run(iterations int) (*Report, error) {
 	if iterations <= 0 {
 		iterations = -1
 	}
-	e := newEngine(a, iterations)
-	a.eng = e
+	e := a.eng
+	e.limit = iterations
+	var rep *Report
+	var err error
 	switch a.cfg.Backend {
 	case BackendSim:
-		return e.runSim()
+		rep, err = e.runSim()
 	case BackendReal:
-		return e.runReal()
+		rep, err = e.runReal()
+	default:
+		return nil, fmt.Errorf("hinch: unknown backend %d", a.cfg.Backend)
 	}
-	return nil, fmt.Errorf("hinch: unknown backend %d", a.cfg.Backend)
+	// The run is over: dissolve the stream buffers back into the global
+	// frame free-list, so the next App (a fresh run, a benchmark
+	// iteration) reuses them instead of allocating.
+	for _, s := range a.streamList {
+		s.drainFrames()
+	}
+	return rep, err
 }

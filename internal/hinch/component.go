@@ -269,16 +269,20 @@ func (rc *RunContext) PortRegion(port string) spacecake.Region {
 	return rc.slot(port).region
 }
 
+// slot resolves a port name through the task's precomputed bindings
+// (see App.portBinds): a linear scan over the handful of ports a
+// component has, replacing the two string-map lookups (ports, streams)
+// the dispatch hot path used to pay per port access.
+//
+//hinch:hotpath
 func (rc *RunContext) slot(port string) *slot {
-	streamName, ok := rc.task.Ports[port]
-	if !ok {
-		panic(fmt.Sprintf("hinch: %s: port %q not connected", rc.task.Name, port))
+	binds := rc.app.portBinds[rc.task.ID]
+	for i := range binds {
+		if binds[i].port == port {
+			return binds[i].s.slotFor(rc.iter)
+		}
 	}
-	s, ok := rc.app.streams[streamName]
-	if !ok {
-		panic(fmt.Sprintf("hinch: %s: stream %q missing", rc.task.Name, streamName))
-	}
-	return s.slotFor(rc.iter)
+	panic(fmt.Sprintf("hinch: %s: port %q not connected", rc.task.Name, port))
 }
 
 // Emit appends an event to the named queue (asynchronous communication,

@@ -194,15 +194,33 @@ func (q *readyQueue) Pop() any {
 	return x
 }
 
-func newEngine(a *App, limit int) *engine {
+// newEngine builds the engine for an App's (single) run. The iteration
+// limit is set later, by Run; everything the steady state recycles —
+// the iteration ring, the iterState free-list, the backpressure
+// buffers and (real backend) the work-stealing scheduler — is
+// allocated and sized here, so the run path starts warm.
+func newEngine(a *App) *engine {
 	e := &engine{
 		app:        a,
 		ring:       make([]atomic.Pointer[iterState], a.cfg.PipelineDepth+2),
-		limit:      limit,
 		stopLaunch: -1,
 		mgrs:       map[string]*mgrState{},
 		perClass:   map[string]*ClassStats{},
 		hooks:      a.cfg.Hooks,
+	}
+	n := len(a.plan.Tasks)
+	e.free = make([]*iterState, 0, len(e.ring))
+	for i := 0; i < len(e.ring); i++ {
+		e.free = append(e.free, &iterState{
+			remaining:  make([]atomic.Int32, n),
+			done:       make([]atomic.Bool, n),
+			crossClaim: make([]atomic.Bool, n),
+		})
+	}
+	e.bufParked = make([]job, 0, a.cfg.PipelineDepth+1)
+	e.bufSpare = make([]job, 0, a.cfg.PipelineDepth+1)
+	if a.cfg.Backend == BackendReal {
+		e.ws = newSched(a.cfg, n)
 	}
 	for name := range a.managers {
 		e.mgrs[name] = &mgrState{lastEntered: -1}
@@ -461,8 +479,13 @@ func (e *engine) launch(w *wsWorker) {
 }
 
 // enqueue adds a ready job to the dispatch queue: the central heap on
-// the sim backend, or (via w, the worker that produced it) a
-// work-stealing deque on the real backend.
+// the sim backend, or a work-stealing deque on the real backend. Jobs
+// released in a worker's wake (w non-nil) are not published one by one:
+// they collect in the worker's release buffer and go out as a single
+// batch — one inflight add, one deque interaction, at most one wake —
+// when the worker flushes after the current job (flushReleases).
+//
+//hinch:hotpath
 func (e *engine) enqueue(w *wsWorker, j job) {
 	if e.tr != nil {
 		e.tr.Emit(traceShard(w), TraceEvent{
@@ -471,7 +494,11 @@ func (e *engine) enqueue(w *wsWorker, j job) {
 		})
 	}
 	if e.ws != nil {
-		e.ws.push(w, j)
+		if w != nil {
+			w.relBuf = append(w.relBuf, j)
+			return
+		}
+		e.ws.push(nil, j)
 		return
 	}
 	heap.Push(&e.ready, j)
@@ -514,6 +541,8 @@ func (e *engine) shouldPark(j job) bool {
 // must be called WITHOUT mu held. A non-nil error (a failed
 // reconfiguration splice) aborts the run and must be propagated by the
 // caller.
+//
+//hinch:hotpath
 func (e *engine) complete(j job, w *wsWorker) (*reconfigResult, error) {
 	if e.hooks != nil {
 		e.hooks.Yield(YieldComplete)
@@ -658,6 +687,8 @@ func (e *engine) checkResumes(w *wsWorker) {
 
 // release satisfies one dependency of a task and queues it once all its
 // dependencies are met. Lock-free; safe with or without mu held.
+//
+//hinch:hotpath
 func (e *engine) release(iter int, it *iterState, taskID int, w *wsWorker) {
 	n := it.remaining[taskID].Add(-1)
 	if n == 0 {
@@ -705,6 +736,7 @@ func (e *engine) needsBuffers(j job) bool {
 // in flight. Must be called with mu held.
 //
 //hinch:locked
+//hinch:hotpath
 func (e *engine) ensureBuffers(iter int) {
 	it := e.iterAt(iter)
 	if it == nil || it.acquired.Load() {
@@ -1173,9 +1205,12 @@ func (e *engine) degrade(j job, reason string, shard int) {
 }
 
 // resolveInstance fetches the component instance for a job. Lock-free:
-// the instance table is copy-on-write.
+// the task-ID-indexed table is republished copy-on-write alongside the
+// name map, so the per-job lookup is an index load, not a map access.
+//
+//hinch:hotpath
 func (e *engine) resolveInstance(j job) (*instance, error) {
-	inst := e.app.instance(j.task.Name)
+	inst := (*e.app.instTab.Load())[j.task.ID]
 	if inst == nil {
 		return nil, fmt.Errorf("hinch: no instance for task %q", j.task.Name)
 	}

@@ -135,7 +135,8 @@ func TestHandleRunErrorAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newEngine(app, 5)
+	e := newEngine(app)
+	e.limit = 5
 	e.handleRunError(job{iter: 3, task: e.app.plan.Tasks[1]}, fmt.Errorf("first failure"))
 	e.handleRunError(job{iter: 4, task: e.app.plan.Tasks[2]}, fmt.Errorf("second failure"))
 	if e.err == nil {

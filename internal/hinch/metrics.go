@@ -34,6 +34,13 @@ type SchedStats struct {
 	Parks int64 `json:"parks"`
 	// Wakes counts idle workers unparked by a job push.
 	Wakes int64 `json:"wakes"`
+	// Batches counts multi-job batch publishes: runs of released jobs
+	// made runnable with one deque interaction (batched dispatch).
+	Batches int64 `json:"batches"`
+	// Chained counts jobs executed straight off a worker's chain slot —
+	// same-task consecutive iterations run back-to-back without ever
+	// touching a queue.
+	Chained int64 `json:"chained"`
 }
 
 // Report summarises one App.Run.

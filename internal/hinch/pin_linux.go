@@ -1,0 +1,27 @@
+//go:build linux
+
+package hinch
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinWorker binds the calling worker goroutine to a dedicated OS
+// thread and that thread to one CPU (worker id modulo the machine's
+// CPU count), best effort — an affinity failure (restricted cpuset,
+// exotic kernel) silently leaves the thread unpinned but still
+// dedicated. The thread is never unlocked: it dies with the worker
+// goroutine at run end, so the mask can not leak to the runtime's
+// thread pool.
+func pinWorker(id int) {
+	runtime.LockOSThread()
+	cpu := id % runtime.NumCPU()
+	// One mask word per 64 CPUs; 1024 CPUs matches the kernel's default
+	// CPU_SETSIZE.
+	var mask [1024 / 64]uint64
+	mask[cpu/64] = 1 << (cpu % 64)
+	// PID 0 = the calling thread.
+	syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY, 0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package hinch
+
+import "runtime"
+
+// pinWorker binds the calling worker goroutine to a dedicated OS
+// thread. CPU affinity is not portable off Linux, so topology pinning
+// degrades to the thread binding alone; the thread dies with the
+// worker goroutine at run end.
+func pinWorker(id int) {
+	_ = id
+	runtime.LockOSThread()
+}

@@ -16,7 +16,6 @@ import (
 // elapsed time.
 func (e *engine) runReal() (*Report, error) {
 	start := time.Now()
-	e.ws = newSched(e.app.cfg.Cores, len(e.app.plan.Tasks), e.hooks)
 	e.trStart = start
 	if e.tr != nil {
 		e.ws.tr = e.tr
@@ -24,17 +23,34 @@ func (e *engine) runReal() (*Report, error) {
 		e.tr.Begin(e.traceMeta(true))
 	}
 
+	var wg sync.WaitGroup
+	spawn := func(w *wsWorker) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.runWorker(w)
+		}()
+	}
+	if !e.ws.eager {
+		// Lazy bring-up: signalWork starts workers 1..spawnCap-1 on
+		// demand; it must be installed before the launch below publishes
+		// the first jobs.
+		e.ws.spawn = spawn
+	}
+
 	e.mu.Lock()
 	e.launch(nil)
 	e.mu.Unlock()
 
-	var wg sync.WaitGroup
-	for _, w := range e.ws.workers {
-		wg.Add(1)
-		go func(w *wsWorker) {
-			defer wg.Done()
-			e.runWorker(w)
-		}(w)
+	if e.ws.eager {
+		for _, w := range e.ws.workers {
+			spawn(w)
+		}
+	} else {
+		// Worker 0 runs on this goroutine. The common sequential and
+		// shallow-parallel cases then execute without any goroutine
+		// handoff at all — no spawn, no WaitGroup wake at the end.
+		e.runWorker(e.ws.workers[0])
 	}
 	wg.Wait()
 
@@ -49,6 +65,8 @@ func (e *engine) runReal() (*Report, error) {
 		ss.GlobalPops += w.globalPops
 		ss.Parks += w.parks
 		ss.Wakes += w.wakes
+		ss.Batches += w.batches
+		ss.Chained += w.chained
 		for _, t := range e.app.plan.Tasks {
 			cs := &w.stats[t.ID]
 			if cs.Jobs == 0 && cs.Ops == 0 && cs.MemCycles == 0 && cs.Faults == 0 && cs.Retries == 0 {
@@ -75,19 +93,50 @@ func (e *engine) runReal() (*Report, error) {
 	return rep, nil
 }
 
-// runWorker is one worker goroutine's loop: pop from the local deque
-// (LIFO — cache-warm successors first), then steal from a random victim
-// or the global overflow queue (sched.steal covers both); park when
-// nothing is runnable anywhere.
+// runWorker is one worker goroutine's loop: run the chained next job
+// if flushReleases installed one (same task, next iteration — no queue
+// touched at all), else pop from the local deque (LIFO — cache-warm
+// successors first), then steal from another worker or the global
+// overflow queue (sched.steal covers both); park when nothing is
+// runnable anywhere.
+//
+//hinch:hotpath
 func (e *engine) runWorker(w *wsWorker) {
 	s := e.ws
+	if e.app.cfg.PinWorkers {
+		pinWorker(w.id)
+	}
+	if w.woken {
+		// Lazily spawned by signalWork: now that the goroutine is
+		// running, further work notifications may target the next worker.
+		w.woken = false
+		s.wakePending.Add(-1)
+	}
 	for {
 		if s.done.Load() {
 			return
 		}
-		j, ok := w.dq.pop()
-		if !ok {
-			j, ok = s.steal(w)
+		var j job
+		var ok bool
+		if w.hasNext {
+			j, ok = w.next, true
+			w.hasNext = false
+		} else {
+			if w.chain > 0 {
+				// The run of same-task iterations just ended: emit its
+				// batch header (one per run, carrying the run length).
+				if e.tr != nil {
+					e.tr.Emit(w.id+1, TraceEvent{
+						TS: w.lastTS, Kind: TraceBatch,
+						Worker: int32(w.id), Iter: -1, ID: -1, Arg: int64(w.chain + 1),
+					})
+				}
+				w.chain = 0
+			}
+			j, ok = w.dq.pop()
+			if !ok {
+				j, ok = s.steal(w)
+			}
 		}
 		if !ok {
 			if s.inflight.Load() == 0 {
@@ -100,8 +149,43 @@ func (e *engine) runWorker(w *wsWorker) {
 			continue
 		}
 		e.execReal(w, j)
+		e.flushReleases(w, j)
 		s.inflight.Add(-1)
 	}
+}
+
+// flushReleases publishes the jobs j's execution released (collected in
+// the worker's release buffer by enqueue). The cross-iteration release
+// of j's own task — the same component on the next frame — is diverted
+// into the worker's chain slot while the chain budget lasts, to be
+// executed back-to-back without touching a queue; the rest goes out as
+// one batch. Must run before j's inflight decrement: the batch's
+// inflight add (and the chained job's, counted here) keeps the
+// termination count from dipping to zero while work is still invisible.
+//
+//hinch:hotpath
+func (e *engine) flushReleases(w *wsWorker, j job) {
+	buf := w.relBuf
+	if len(buf) == 0 {
+		return
+	}
+	if !w.hasNext && w.chain < e.ws.maxChain {
+		for i := range buf {
+			if buf[i].task == j.task && buf[i].iter == j.iter+1 {
+				w.next = buf[i]
+				w.hasNext = true
+				w.chain++
+				w.chained++
+				e.ws.inflight.Add(1)
+				n := len(buf) - 1
+				buf[i] = buf[n]
+				buf = buf[:n]
+				break
+			}
+		}
+	}
+	e.ws.pushBatch(w, buf, w.hasNext)
+	w.relBuf = w.relBuf[:0]
 }
 
 // checkTermination decides, under the engine lock, whether an observed
@@ -127,6 +211,8 @@ func (e *engine) checkTermination() {
 // manager jobs and first-dispatch/option/cancellation cases go through
 // the engine lock, mirroring the sim backend's dispatch checks
 // (shouldPark → needsBuffers → skipExecution → ensureBuffers).
+//
+//hinch:hotpath
 func (e *engine) execReal(w *wsWorker, j job) {
 	if j.task.Role != graph.RoleComponent {
 		e.mu.Lock()

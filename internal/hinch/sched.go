@@ -1,6 +1,7 @@
 package hinch
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,10 +31,23 @@ type wsDeque struct {
 	size atomic.Int32 // approximate length, for cheap emptiness probes
 }
 
+//hinch:hotpath
 func (d *wsDeque) push(j job) {
 	d.mu.Lock()
 	d.buf = append(d.buf, j)
 	d.size.Add(1)
+	d.mu.Unlock()
+}
+
+// pushN appends a batch of jobs in one lock acquisition — the deque
+// half of batched dispatch (one interaction per run of released jobs
+// instead of one per job).
+//
+//hinch:hotpath
+func (d *wsDeque) pushN(js []job) {
+	d.mu.Lock()
+	d.buf = append(d.buf, js...)
+	d.size.Add(int32(len(js)))
 	d.mu.Unlock()
 }
 
@@ -62,24 +76,46 @@ func (d *wsDeque) pop() (job, bool) {
 
 // steal removes the oldest job (thief side, FIFO).
 func (d *wsDeque) steal() (job, bool) {
+	var buf [1]job
+	if d.stealN(buf[:], 1) == 1 {
+		return buf[0], true
+	}
+	return job{}, false
+}
+
+// stealN removes up to max oldest jobs into dst (thief side, FIFO) and
+// reports how many it took: at most half of what is queued (rounded
+// up), so the victim keeps the cache-warm tail it is about to pop. One
+// lock acquisition moves the whole run, where single-job stealing
+// would re-contend the victim's deque per job.
+//
+//hinch:hotpath
+func (d *wsDeque) stealN(dst []job, max int) int {
 	if d.size.Load() == 0 {
-		return job{}, false
+		return 0
 	}
 	d.mu.Lock()
-	if d.head == len(d.buf) {
+	avail := len(d.buf) - d.head
+	if avail == 0 {
 		d.mu.Unlock()
-		return job{}, false
+		return 0
 	}
-	j := d.buf[d.head]
-	d.buf[d.head] = job{}
-	d.head++
+	take := (avail + 1) / 2
+	if take > max {
+		take = max
+	}
+	copy(dst[:take], d.buf[d.head:d.head+take])
+	for i := 0; i < take; i++ {
+		d.buf[d.head+i] = job{}
+	}
+	d.head += take
 	if d.head == len(d.buf) {
 		d.buf = d.buf[:0]
 		d.head = 0
 	}
-	d.size.Add(-1)
+	d.size.Add(int32(-take))
 	d.mu.Unlock()
-	return j, true
+	return take
 }
 
 // wsWorker is one worker goroutine's scheduler state plus its private
@@ -95,12 +131,35 @@ type wsWorker struct {
 	stats []ClassStats // per-task-ID shard, merged by class at run end
 	rc    RunContext   // reusable run context for this worker's jobs
 
+	// relBuf collects the jobs released by the job this worker is
+	// executing; flushReleases publishes them as one batch when the job
+	// finishes (and may divert one into next, below).
+	relBuf []job
+
+	// next/hasNext is the worker's chained job: the cross-iteration
+	// release of the task it just ran (same component, next frame),
+	// executed back-to-back without touching any queue. chain counts
+	// the run length so far, capped by sched.maxChain.
+	next    job
+	hasNext bool
+	chain   int
+
+	// stealBuf is the scratch the worker steals batches into.
+	stealBuf [stealMax]job
+
+	// woken marks that this worker's pending park token came from
+	// wakeOne (and counted in sched.wakePending); set before the token
+	// send, consumed by blockPark after the token receive.
+	woken bool
+
 	// Scheduler action counters, folded into Report.Sched at run end.
 	stealAttempts int64 // calls to sched.steal (local deque was empty)
 	steals        int64 // jobs taken from another worker's deque
 	globalPops    int64 // jobs taken from the global overflow queue
 	parks         int64 // times this worker blocked waiting for work
 	wakes         int64 // idle workers this worker unparked
+	batches       int64 // multi-job batch publishes (pushBatch calls)
+	chained       int64 // jobs run straight off the chain, bypassing the deques
 
 	// lastTS is the worker's cached trace timestamp: the end of its
 	// last executed job (refreshed also after a steal hit or unpark).
@@ -120,11 +179,42 @@ func (w *wsWorker) nextRand() uint64 {
 	return x
 }
 
+// stealMax caps how many jobs one steal moves: enough to amortise the
+// victim-deque lock over a run, small enough that work keeps spreading
+// to further thieves.
+const stealMax = 8
+
 // sched is the shared work-stealing state of one real-backend run.
 type sched struct {
 	workers []*wsWorker
 	global  wsDeque   // jobs released outside worker context
 	hooks   TestHooks // test-only schedule perturbation; nil in production
+
+	// maxChain bounds the run of same-task consecutive iterations a
+	// worker executes back-to-back off its chain slot (see
+	// flushReleases): the stream FIFO capacity — a longer run would
+	// outrun the buffer window and stall on backpressure anyway —
+	// capped so freshly released work still reaches the deques for
+	// thieves.
+	maxChain int
+
+	// pinned mirrors Config.PinWorkers: steal-victim scanning then
+	// walks outward from the thief's id (nearest core first) instead of
+	// starting at a random victim.
+	pinned bool
+
+	// Topology-aware worker bring-up. Worker 0 runs on the caller's
+	// goroutine; the rest are brought online one at a time by
+	// signalWork, only while fewer than spawnCap workers exist —
+	// min(Cores, NumCPU, GOMAXPROCS), because a dispatch worker beyond
+	// the host's usable parallelism never runs concurrently with the
+	// others and only adds thread churn. eager restores the
+	// spawn-everything-up-front behaviour (schedule exploration via
+	// TestHooks, pinned topologies, Config.EagerWorkers).
+	eager    bool
+	spawnCap int
+	spawned  atomic.Int32    // workers online, worker 0 included
+	spawn    func(*wsWorker) // starts one worker goroutine; set by runReal
 
 	// inflight counts jobs that are queued or executing. It is
 	// incremented before a job becomes visible in any queue and
@@ -139,13 +229,45 @@ type sched struct {
 	nidle  atomic.Int32
 	done   atomic.Bool
 
+	// wakePending counts workers woken but not yet rescheduled (the
+	// token was sent, the worker hasn't come out of its park). Producers
+	// skip waking while one is pending: piling futex wakes into that
+	// window just queues context switches — on an oversubscribed host
+	// they serialise against the very CPU the producer is using — and
+	// the pending worker will see the new work anyway when it scans.
+	// Spreading to further workers resumes as a cascade: each woken
+	// worker that steals a surplus wakes the next (see steal).
+	wakePending atomic.Int32
+
 	tr       Tracer       // flight recorder; nil in production
 	trStart  time.Time    // trace timestamps count from this instant
 	extWakes atomic.Int64 // wakes performed outside any worker context
 }
 
-func newSched(n, nTasks int, hooks TestHooks) *sched {
-	s := &sched{workers: make([]*wsWorker, n), hooks: hooks}
+func newSched(cfg Config, nTasks int) *sched {
+	n := cfg.Cores
+	hooks := cfg.Hooks
+	s := &sched{
+		workers: make([]*wsWorker, n),
+		hooks:   hooks,
+		pinned:  cfg.PinWorkers,
+	}
+	s.maxChain = cfg.StreamCapacity
+	if s.maxChain > stealMax {
+		s.maxChain = stealMax
+	}
+	s.eager = hooks != nil || cfg.PinWorkers || cfg.EagerWorkers
+	s.spawnCap = n
+	if !s.eager {
+		if c := runtime.NumCPU(); c < s.spawnCap {
+			s.spawnCap = c
+		}
+		if c := runtime.GOMAXPROCS(0); c < s.spawnCap {
+			s.spawnCap = c
+		}
+	}
+	s.spawned.Store(1)
+	s.idle = make([]*wsWorker, 0, n)
 	for i := range s.workers {
 		seed := uint64(i)*0x9e3779b97f4a7c15 + 1
 		if hooks != nil {
@@ -164,6 +286,7 @@ func newSched(n, nTasks int, hooks TestHooks) *sched {
 		}
 		s.workers[i].rc.shard = i + 1
 		s.workers[i].dq.buf = make([]job, 0, 64)
+		s.workers[i].relBuf = make([]job, 0, 32)
 	}
 	return s
 }
@@ -186,18 +309,47 @@ func (s *sched) push(w *wsWorker, j job) {
 	} else {
 		s.global.push(j)
 	}
-	if s.nidle.Load() > 0 {
-		if s.wakeOne() {
-			if w != nil {
-				w.wakes++
-			} else {
-				s.extWakes.Add(1)
-			}
+	if s.signalWork() {
+		if w != nil {
+			w.wakes++
+		} else {
+			s.extWakes.Add(1)
 		}
 	}
 }
 
+// pushBatch makes a run of jobs released by one execution runnable in
+// a single publish: one inflight add, one deque lock and at most one
+// wake, where per-job pushes pay all three per job — the cross-worker
+// traffic that made adding workers slow the scheduler down. busy says
+// the owner already holds a chained next job, so the whole batch (not
+// all but one) is up for grabs by thieves.
+//
+//hinch:hotpath
+func (s *sched) pushBatch(w *wsWorker, js []job, busy bool) {
+	if len(js) == 0 {
+		return
+	}
+	if s.hooks != nil {
+		s.hooks.Yield(YieldEnqueue)
+	}
+	s.inflight.Add(int64(len(js)))
+	w.dq.pushN(js)
+	if len(js) > 1 {
+		w.batches++
+	}
+	spare := len(js)
+	if !busy {
+		spare--
+	}
+	if spare > 0 && s.signalWork() {
+		w.wakes++
+	}
+}
+
 // wakeOne unparks one idle worker, if any, reporting whether it did.
+// The woken worker is marked pending until it actually resumes
+// (blockPark clears it), throttling further wakes to one in flight.
 func (s *sched) wakeOne() bool {
 	s.idleMu.Lock()
 	var w *wsWorker
@@ -208,37 +360,99 @@ func (s *sched) wakeOne() bool {
 	}
 	s.idleMu.Unlock()
 	if w != nil {
+		s.wakePending.Add(1)
+		w.woken = true
 		w.park <- struct{}{} // buffered; never blocks
 		return true
 	}
 	return false
 }
 
-// steal scans the other workers (starting at a pseudo-random victim)
-// and the global queue for work.
+// signalWork notifies the scheduler that runnable work was published
+// beyond what its producer will consume itself: wake a parked worker,
+// or — if nobody is parked and the topology cap allows — bring the
+// next not-yet-started worker online. No-op while a previously
+// notified worker has not engaged yet (wakePending), so backlogs ramp
+// workers up one at a time instead of queueing futex wakes. Reports
+// whether a worker was notified.
+func (s *sched) signalWork() bool {
+	if s.wakePending.Load() != 0 {
+		return false
+	}
+	if s.nidle.Load() > 0 {
+		return s.wakeOne()
+	}
+	for {
+		n := s.spawned.Load()
+		if int(n) >= s.spawnCap || s.spawn == nil {
+			return false
+		}
+		if s.spawned.CompareAndSwap(n, n+1) {
+			w := s.workers[n]
+			s.wakePending.Add(1)
+			w.woken = true
+			s.spawn(w)
+			return true
+		}
+	}
+}
+
+// steal scans the other workers and the global queue for work. Victim
+// order is pseudo-random by default; with pinned workers it walks
+// outward from the thief's id (±1, ±2, …), so work migrates between
+// near cores first. A hit takes a batch (up to half the victim's
+// deque): the first job is returned, the rest land on the thief's own
+// deque, and one more idle worker is woken to keep the work spreading.
+//
+//hinch:hotpath
 func (s *sched) steal(w *wsWorker) (job, bool) {
 	w.stealAttempts++
 	n := len(s.workers)
-	start := int(w.nextRand() % uint64(n))
+	start := 0
+	if !s.pinned && n > 1 {
+		start = int(w.nextRand() % uint64(n))
+	}
 	for i := 0; i < n; i++ {
-		v := s.workers[(start+i)%n]
-		if v == w {
+		var v *wsWorker
+		if s.pinned {
+			if i == 0 {
+				continue
+			}
+			// Ring offsets 1, -1, 2, -2, …: nearest ids (nearest
+			// cores, with one worker pinned per core) first.
+			off := (i + 1) / 2
+			if i%2 == 0 {
+				off = n - off
+			}
+			v = s.workers[(w.id+off)%n]
+		} else {
+			v = s.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+		}
+		took := v.dq.stealN(w.stealBuf[:], stealMax)
+		if took == 0 {
 			continue
 		}
-		if j, ok := v.dq.steal(); ok {
-			w.steals++
-			if s.tr != nil {
-				// The stolen job came from a cold deque; refresh the
-				// cached timestamp so its span starts here, not at this
-				// worker's last job.
-				w.lastTS = int64(time.Since(s.trStart))
-				s.tr.Emit(w.id+1, TraceEvent{
-					TS: w.lastTS, Kind: TraceStealHit,
-					Worker: int32(w.id), Iter: -1, ID: int32(v.id),
-				})
+		w.steals += int64(took)
+		if took > 1 {
+			w.dq.pushN(w.stealBuf[1:took])
+			if s.signalWork() {
+				w.wakes++
 			}
-			return j, true
 		}
+		if s.tr != nil {
+			// The stolen run came from a cold deque; refresh the
+			// cached timestamp so its span starts here, not at this
+			// worker's last job.
+			w.lastTS = int64(time.Since(s.trStart))
+			s.tr.Emit(w.id+1, TraceEvent{
+				TS: w.lastTS, Kind: TraceStealHit,
+				Worker: int32(w.id), Iter: -1, ID: int32(v.id), Arg: int64(took),
+			})
+		}
+		return w.stealBuf[0], true
 	}
 	j, ok := s.global.steal()
 	if ok {
@@ -311,6 +525,10 @@ func (s *sched) blockPark(w *wsWorker) {
 		})
 	}
 	<-w.park
+	if w.woken {
+		w.woken = false
+		s.wakePending.Add(-1)
+	}
 	if s.tr != nil {
 		w.lastTS = int64(time.Since(s.trStart))
 		s.tr.Emit(w.id+1, TraceEvent{

@@ -70,6 +70,12 @@ type streamSlot struct {
 type slot struct {
 	payload any
 	region  spacecake.Region
+	// own is the frame the stream itself created for this slot (via the
+	// global media free-list). Kept separately from payload so that a
+	// component replacing the payload with SetOut can never cause the
+	// same frame to be recycled twice: only own goes back to the
+	// free-list, exactly once, when the run's buffers are drained.
+	own *media.Frame
 }
 
 // Packet is the element of a "packet" stream: one variable-size unit of
@@ -92,11 +98,13 @@ func newStream(decl graph.StreamDecl, depth int, addr *spacecake.AddressSpace) (
 		return nil, fmt.Errorf("hinch: stream %q has unknown type %q", decl.Name, decl.Type)
 	}
 	return &Stream{
-		name:   decl.Name,
-		decl:   decl,
-		depth:  depth,
-		addr:   addr,
-		active: make([]atomic.Pointer[streamSlot], depth+2),
+		name:     decl.Name,
+		decl:     decl,
+		depth:    depth,
+		addr:     addr,
+		active:   make([]atomic.Pointer[streamSlot], depth+2),
+		pool:     make([]*slot, 0, depth+2),
+		wrapFree: make([]*streamSlot, 0, depth+2),
 	}, nil
 }
 
@@ -118,11 +126,15 @@ func (s *Stream) elementBytes() int64 {
 	return 0
 }
 
-// newSlot allocates a fresh buffer.
+// newSlot allocates a fresh buffer. Frame payloads come from the
+// global media free-list (zeroed, so contents match a fresh NewFrame)
+// and return to it when the run ends and drainFrames dissolves the
+// slots.
 func (s *Stream) newSlot() *slot {
 	sl := &slot{}
 	if s.decl.Type == "frame" {
-		sl.payload = media.NewFrame(s.decl.W, s.decl.H)
+		sl.own = media.GetFrame(s.decl.W, s.decl.H)
+		sl.payload = sl.own
 	}
 	if s.addr != nil {
 		if b := s.elementBytes(); b > 0 {
@@ -134,7 +146,12 @@ func (s *Stream) newSlot() *slot {
 }
 
 // acquire assigns a buffer to iteration iter. The engine calls it at
-// first dispatch of the iteration, under its lock.
+// first dispatch of the iteration, under its lock. In steady state both
+// the slot and its wrapper come from the presized free-lists; only the
+// first few iterations (up to the actual overlap) hit the allocating
+// newSlot path.
+//
+//hinch:hotpath
 func (s *Stream) acquire(iter int) {
 	p := &s.active[iter%len(s.active)]
 	if p.Load() != nil {
@@ -167,6 +184,8 @@ func (s *Stream) acquire(iter int) {
 
 // release returns iteration iter's buffer to the pool. The engine calls
 // it when the iteration retires, under its lock.
+//
+//hinch:hotpath
 func (s *Stream) release(iter int) {
 	p := &s.active[iter%len(s.active)]
 	e := p.Load()
@@ -179,8 +198,26 @@ func (s *Stream) release(iter int) {
 	s.wrapFree = append(s.wrapFree, e)
 }
 
+// drainFrames returns the stream's own frame payloads to the global
+// media free-list. Called once, after the run has fully stopped: every
+// slot of a cleanly finished run sits in the pool (its iteration
+// retired). Slots still active after an aborted run keep their frames,
+// which simply fall to the GC with the App — never recycle a frame a
+// failed component might still reference.
+func (s *Stream) drainFrames() {
+	for _, sl := range s.pool {
+		if sl.own != nil {
+			media.PutFrame(sl.own)
+			sl.own = nil
+			sl.payload = nil
+		}
+	}
+}
+
 // slotFor returns the buffer owned by iteration iter. Lock-free; called
 // by components mid-run.
+//
+//hinch:hotpath
 func (s *Stream) slotFor(iter int) *slot {
 	e := s.active[iter%len(s.active)].Load()
 	if e == nil || e.iter != iter {

@@ -206,6 +206,12 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				Name: fmt.Sprintf("steal from %d", ev.ID), Cat: "sched", Ph: "i",
 				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "t",
 			})
+		case hinch.TraceBatch:
+			events = append(events, chromeEvent{
+				Name: "batch", Cat: "sched", Ph: "i",
+				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "t",
+				Args: map[string]any{"run": ev.Arg},
+			})
 		case hinch.TraceGlobalPop:
 			events = append(events, chromeEvent{
 				Name: "global pop", Cat: "sched", Ph: "i",

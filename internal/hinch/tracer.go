@@ -87,6 +87,11 @@ const (
 	// queue (policy exhaustion or watchdog overrun). Arg = queue depth
 	// after the push.
 	TraceDegrade
+	// TraceBatch: worker Worker finished a chained run of same-task
+	// consecutive iterations (batched dispatch, real backend only). One
+	// header per run; Arg = the run length (jobs executed back-to-back).
+	// The per-job TraceJobSpan events are emitted as usual.
+	TraceBatch
 )
 
 // String names the kind for exporters and diagnostics.
@@ -130,6 +135,8 @@ func (k TraceKind) String() string {
 		return "fault"
 	case TraceDegrade:
 		return "degrade"
+	case TraceBatch:
+		return "batch"
 	}
 	return "unknown"
 }

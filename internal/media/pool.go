@@ -1,0 +1,59 @@
+package media
+
+import "sync"
+
+// framePoolMax bounds the number of recycled frames kept per geometry;
+// beyond it PutFrame drops frames for the GC. 256 covers the deepest
+// stream complement any built-in app allocates (streams × FIFO
+// capacity) with headroom for several apps in flight at once.
+const framePoolMax = 256
+
+// framePool is the global frame free-list, keyed by geometry. It is a
+// plain mutex-guarded map rather than a sync.Pool on purpose: the
+// runtime's zero-allocation steady state is pinned by
+// testing.AllocsPerRun, and sync.Pool's GC-driven eviction would make
+// those pins (and the scheduler's allocation profile) nondeterministic.
+var framePool = struct {
+	sync.Mutex
+	free map[[2]int][]*Frame
+}{free: map[[2]int][]*Frame{}}
+
+// GetFrame returns a zeroed w×h frame, reusing a recycled one when the
+// free-list has a match. It is the allocation-free twin of NewFrame for
+// callers that hand frames back with PutFrame; recycled frames are
+// cleared before reuse, so callers observe exactly NewFrame's contract.
+func GetFrame(w, h int) *Frame {
+	key := [2]int{w, h}
+	var f *Frame
+	framePool.Lock()
+	if list := framePool.free[key]; len(list) > 0 {
+		n := len(list) - 1
+		f = list[n]
+		list[n] = nil
+		framePool.free[key] = list[:n]
+	}
+	framePool.Unlock()
+	if f == nil {
+		return NewFrame(w, h)
+	}
+	clear(f.Y)
+	clear(f.U)
+	clear(f.V)
+	return f
+}
+
+// PutFrame returns f to the free-list for a later GetFrame of the same
+// geometry. The caller must hold the only live references to f and its
+// planes; nil is ignored, and frames beyond the per-geometry bound are
+// dropped for the GC.
+func PutFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	key := [2]int{f.W, f.H}
+	framePool.Lock()
+	if list := framePool.free[key]; len(list) < framePoolMax {
+		framePool.free[key] = append(list, f)
+	}
+	framePool.Unlock()
+}

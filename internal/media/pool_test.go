@@ -1,0 +1,75 @@
+package media
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFramePoolReuse checks the recycling contract: a frame handed
+// back with PutFrame comes back from the next same-geometry GetFrame
+// (pointer identity), and comes back zeroed — callers must observe
+// exactly NewFrame's contract even after the planes were dirtied.
+func TestFramePoolReuse(t *testing.T) {
+	f := GetFrame(64, 32)
+	f.Y[0], f.U[1], f.V[2] = 7, 8, 9
+	PutFrame(f)
+	g := GetFrame(64, 32)
+	if g != f {
+		t.Errorf("GetFrame(64, 32) = %p, want the recycled frame %p", g, f)
+	}
+	if g.Y[0] != 0 || g.U[1] != 0 || g.V[2] != 0 {
+		t.Errorf("recycled frame not zeroed: Y[0]=%d U[1]=%d V[2]=%d", g.Y[0], g.U[1], g.V[2])
+	}
+	PutFrame(g)
+
+	// A different geometry must not see the recycled frame.
+	h := GetFrame(32, 16)
+	if h.W != 32 || h.H != 16 {
+		t.Fatalf("GetFrame(32, 16) returned %dx%d", h.W, h.H)
+	}
+	PutFrame(h)
+
+	// nil is ignored, and double-Put of distinct frames keeps working.
+	PutFrame(nil)
+}
+
+// TestFramePoolBound checks PutFrame drops frames beyond the
+// per-geometry cap instead of growing without bound.
+func TestFramePoolBound(t *testing.T) {
+	const w, h = 48, 16
+	for i := 0; i < framePoolMax+10; i++ {
+		PutFrame(NewFrame(w, h))
+	}
+	framePool.Lock()
+	n := len(framePool.free[[2]int{w, h}])
+	framePool.free[[2]int{w, h}] = nil
+	framePool.Unlock()
+	if n > framePoolMax {
+		t.Errorf("pool kept %d frames for %dx%d, cap is %d", n, w, h, framePoolMax)
+	}
+}
+
+// TestFramePoolConcurrent hammers the pool from 8 goroutines mixing
+// geometries — run under -race in CI, it guards the free-list locking
+// discipline the scheduler's parallel get/put traffic relies on.
+func TestFramePoolConcurrent(t *testing.T) {
+	geoms := [][2]int{{64, 32}, {64, 32}, {32, 16}, {128, 64}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				wh := geoms[(g+i)%len(geoms)]
+				f := GetFrame(wh[0], wh[1])
+				if f.W != wh[0] || f.H != wh[1] {
+					t.Errorf("GetFrame(%d, %d) returned %dx%d", wh[0], wh[1], f.W, f.H)
+					return
+				}
+				f.Y[i%len(f.Y)] = uint8(i)
+				PutFrame(f)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -103,27 +103,37 @@ func Encode(f *media.Frame, quality int) ([]byte, error) {
 	if quality < 1 || quality > 100 {
 		return nil, fmt.Errorf("mjpeg: quality %d out of range", quality)
 	}
-	out := make([]byte, 0, f.Bytes()/4)
-	out = append(out, frameMagic[:]...)
-	out = binary.BigEndian.AppendUint16(out, uint16(f.W))
-	out = binary.BigEndian.AppendUint16(out, uint16(f.H))
-	out = append(out, byte(quality))
-	for _, pl := range media.Planes {
-		data, w, h := f.Plane(pl)
-		bits := encodePlane(data, w, h, pl == media.PlaneY, quality)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(bits)))
-		out = append(out, bits...)
-	}
-	return out, nil
+	return appendEncode(make([]byte, 0, f.Bytes()/4), f, quality)
 }
 
-func encodePlane(data []uint8, w, h int, luma bool, quality int) []byte {
+// appendEncode encodes f onto dst and returns the extended slice. The
+// plane bitstreams are written straight into dst through a rebound
+// bitio.Writer — no per-plane scratch buffer, no copy — with each
+// plane's u32 length backfilled once its size is known.
+func appendEncode(dst []byte, f *media.Frame, quality int) ([]byte, error) {
+	dst = append(dst, frameMagic[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(f.W))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(f.H))
+	dst = append(dst, byte(quality))
+	var bw bitio.Writer
+	for _, pl := range media.Planes {
+		data, w, h := f.Plane(pl)
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		bw.Reset(dst)
+		encodePlane(&bw, data, w, h, pl == media.PlaneY, quality)
+		dst = bw.Bytes()
+		binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	}
+	return dst, nil
+}
+
+func encodePlane(bw *bitio.Writer, data []uint8, w, h int, luma bool, quality int) {
 	q := quantTable(luma, quality)
 	dcEnc, acEnc := dcChromaEnc, acChromaEnc
 	if luma {
 		dcEnc, acEnc = dcLumaEnc, acLumaEnc
 	}
-	bw := bitio.NewWriter()
 	var block, freq [64]int32
 	pred := int32(0)
 	for by := 0; by < h/8; by++ {
@@ -170,7 +180,6 @@ func encodePlane(data []uint8, w, h int, luma bool, quality int) []byte {
 			}
 		}
 	}
-	return bw.Bytes()
 }
 
 // ParseHeader reads the header of an encoded frame without decoding it.

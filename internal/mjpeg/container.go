@@ -49,12 +49,30 @@ func ReadContainer(r io.Reader) ([][]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	frames := make([][]byte, 0, n)
+	// Frame buffers are carved out of a shared arena instead of
+	// allocated one make([]byte, sz) at a time: each arena chunk is
+	// sized to cover ~16 frames at the current frame size, and frames
+	// are disjoint full-capacity subslices of it, so a 1000-frame
+	// container costs dozens of allocations rather than a thousand.
+	var arena []byte
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil, fmt.Errorf("mjpeg: frame %d length: %w", i, err)
 		}
-		sz := binary.BigEndian.Uint32(hdr[:])
-		buf := make([]byte, sz)
+		sz := int(binary.BigEndian.Uint32(hdr[:]))
+		if sz > len(arena) {
+			chunk := sz * 16
+			const maxChunk = 4 << 20
+			if chunk > maxChunk {
+				chunk = maxChunk
+			}
+			if chunk < sz {
+				chunk = sz
+			}
+			arena = make([]byte, chunk)
+		}
+		buf := arena[:sz:sz]
+		arena = arena[sz:]
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("mjpeg: frame %d data: %w", i, err)
 		}
@@ -63,15 +81,24 @@ func ReadContainer(r io.Reader) ([][]byte, error) {
 	return frames, nil
 }
 
-// EncodeSequence encodes a frame sequence at the given quality.
+// EncodeSequence encodes a frame sequence at the given quality. Each
+// frame's output buffer is presized from the previous frame's encoded
+// length (frames of a sequence compress to near-identical sizes), so
+// steady-state encoding does one exact-size allocation per frame
+// instead of log-many append regrowths.
 func EncodeSequence(frames []*media.Frame, quality int) ([][]byte, error) {
 	out := make([][]byte, len(frames))
+	hint := 0
 	for i, f := range frames {
-		enc, err := Encode(f, quality)
+		if hint == 0 {
+			hint = f.Bytes() / 4
+		}
+		enc, err := appendEncode(make([]byte, 0, hint), f, quality)
 		if err != nil {
 			return nil, fmt.Errorf("mjpeg: frame %d: %w", i, err)
 		}
 		out[i] = enc
+		hint = len(enc) + len(enc)/8
 	}
 	return out, nil
 }

@@ -20,6 +20,14 @@
 # Usage:
 #   scripts/bench.sh                # default: benchtime 1s
 #   BENCHTIME=2s scripts/bench.sh   # longer runs for stabler numbers
+#   SMOKE=1 scripts/bench.sh        # scheduler-throughput bench only
+#                                   # (the CI bench-smoke job's run)
+#   scripts/bench.sh compare OLD.json NEW.json [max-regression-pct]
+#                                   # per-benchmark %-delta table over
+#                                   # the benchmarks present in both
+#                                   # files; exits 1 if any slows down
+#                                   # by more than the threshold
+#                                   # (default 25%)
 #
 # Output schema (BENCH_results.json):
 #   { "generated_by": ..., "go": ..., "benchtime": ...,
@@ -36,6 +44,50 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# compare: diff two BENCH_results.json files benchmark-by-benchmark.
+# Positive deltas are slowdowns. Only benchmarks present in both files
+# are compared, so a SMOKE run can be checked against a full baseline.
+if [[ "${1:-}" == "compare" ]]; then
+  old="${2:?usage: bench.sh compare OLD.json NEW.json [max-regression-pct]}"
+  new="${3:?usage: bench.sh compare OLD.json NEW.json [max-regression-pct]}"
+  thresh="${4:-25}"
+  exec python3 - "$old" "$new" "$thresh" <<'PY'
+import json, sys
+
+old_path, new_path, thresh = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {(r["package"], r["name"]): r for r in data["results"]}
+
+old, new = load(old_path), load(new_path)
+common = sorted(k for k in new if k in old)
+if not common:
+    sys.exit(f"bench.sh compare: no common benchmarks between {old_path} and {new_path}")
+
+print(f"{'benchmark':<56} {'old ns/op':>12} {'new ns/op':>12} {'delta':>8}  allocs/op")
+regressed = []
+for key in common:
+    o, n = old[key], new[key]
+    delta = (n["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"] * 100
+    allocs = ""
+    if "allocs_per_op" in o and "allocs_per_op" in n:
+        allocs = f"{o['allocs_per_op']:.0f} -> {n['allocs_per_op']:.0f}"
+    name = f"{key[1]} ({key[0]})"
+    print(f"{name:<56} {o['ns_per_op']:>12.0f} {n['ns_per_op']:>12.0f} {delta:>+7.1f}%  {allocs}")
+    if delta > thresh:
+        regressed.append((name, delta))
+
+if regressed:
+    print(f"\nFAIL: {len(regressed)} benchmark(s) regressed more than {thresh:.0f}%:", file=sys.stderr)
+    for name, delta in regressed:
+        print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: {len(common)} benchmark(s) compared, none slower by more than {thresh:.0f}%")
+PY
+fi
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_results.json}"
@@ -67,19 +119,25 @@ run_bench() { # run_bench <package> <bench regex> [extra go test args...]
     awk -v pkg="$pkg" '/^Benchmark/ { print pkg "\t" $0 }' >>"$TMP"
 }
 
-run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig10Reconfiguration'
-run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
-run_bench ./ 'BenchmarkTraceOverhead' -benchmem
-run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
-# Fault-tolerance idle cost: the same scheduler-bound workload with the
-# machinery unused (nil injector / never-firing policies) — tracked so
-# the fault-free fast path stays free.
-run_bench ./internal/hinch/ 'BenchmarkFaultFreeOverhead' -benchmem
-run_bench ./internal/kernels/ '.' -benchmem
-# Static-analyzer wall time on every built-in app variant: xspclvet
-# runs on each xspclc invocation, so its cost is part of the perf
-# trajectory too.
-run_bench ./internal/analysis/ 'BenchmarkAnalyze' -benchmem
+if [[ -n "${SMOKE:-}" ]]; then
+  # CI bench-smoke: just the scheduler-throughput scaling bench — the
+  # number the compare gate guards — at the usual CPU points.
+  run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
+else
+  run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig10Reconfiguration'
+  run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
+  run_bench ./ 'BenchmarkTraceOverhead' -benchmem
+  run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
+  # Fault-tolerance idle cost: the same scheduler-bound workload with the
+  # machinery unused (nil injector / never-firing policies) — tracked so
+  # the fault-free fast path stays free.
+  run_bench ./internal/hinch/ 'BenchmarkFaultFreeOverhead' -benchmem
+  run_bench ./internal/kernels/ '.' -benchmem
+  # Static-analyzer wall time on every built-in app variant: xspclvet
+  # runs on each xspclc invocation, so its cost is part of the perf
+  # trajectory too.
+  run_bench ./internal/analysis/ 'BenchmarkAnalyze' -benchmem
+fi
 
 # Fold the benchmark lines into JSON. Benchmark output fields arrive as
 # value/unit pairs after the iteration count, e.g.:
