@@ -18,6 +18,12 @@
 // exercising failure policies and degradation paths:
 //
 //	xspclrun -builtin JPiP-FT -inject-faults seed=1,task=jdec,from=8
+//
+// The -autotune flag enables the feedback autotuner: components marked
+// replicate="auto" have their replica widths resized from occupancy
+// feedback while the run executes, and stream-FIFO capacity follows
+// backpressure. Decisions appear in the report (tune: ...) and, with
+// -trace, as instant events on the runtime track.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xspcl/internal/apps"
 	"xspcl/internal/components"
@@ -47,13 +54,16 @@ func main() {
 	report := flag.String("report", "text", "report format: text or json")
 	inject := flag.String("inject-faults", "", `inject deterministic faults, e.g. "seed=1,task=jdec,from=8" (see hinch.ParseFaultSpec)`)
 	pin := flag.Bool("pin", false, "pin real-backend workers to CPUs (Linux affinity; near-core steal order)")
+	autotune := flag.Bool("autotune", false, "enable the feedback autotuner (resizes replicate=auto widths and stream depths)")
+	tuneEpoch := flag.Int64("tune-epoch", 0, "autotuner epoch length in simulated cycles (sim backend; 0 = default; size it to cover several jobs of the hottest stage)")
+	tuneEpochWall := flag.Duration("tune-epoch-wall", 0, "autotuner epoch length in wall time (real backend; 0 = default)")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *pin, *traceOut, *report, *inject); err != nil {
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *pin, *autotune, *tuneEpoch, *tuneEpochWall, *traceOut, *report, *inject); err != nil {
 		stop()
 		fail(err)
 	}
@@ -62,8 +72,9 @@ func main() {
 	}
 }
 
-func run(cores, frames, pipeline int, backend, builtin string, workless, pin bool, traceOut, report, inject string) error {
-	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless, PinWorkers: pin}
+func run(cores, frames, pipeline int, backend, builtin string, workless, pin, autotune bool, tuneEpoch int64, tuneEpochWall time.Duration, traceOut, report, inject string) error {
+	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless, PinWorkers: pin,
+		Autotune: autotune, TuneEpochCycles: tuneEpoch, TuneEpochWall: tuneEpochWall}
 	switch backend {
 	case "sim":
 		cfg.Backend = hinch.BackendSim

@@ -64,15 +64,16 @@ func (s Severity) String() string {
 
 // Pass names, usable with Options.Disable and the -Wno-<pass> flags.
 const (
-	PassDeadlock = "deadlock"
-	PassSizing   = "sizing"
-	PassReconfig = "reconfig"
-	PassBindings = "bindings"
-	PassFaults   = "faults"
+	PassDeadlock    = "deadlock"
+	PassSizing      = "sizing"
+	PassReconfig    = "reconfig"
+	PassBindings    = "bindings"
+	PassFaults      = "faults"
+	PassReplication = "replication"
 )
 
 // Passes lists every analyzer pass in execution order.
-var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings, PassFaults}
+var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings, PassFaults, PassReplication}
 
 // CapacityFix is the minimal FIFO-depth change that removes a capacity
 // deadlock.
@@ -173,7 +174,13 @@ func Analyze(prog *graph.Program, opt Options) (*Report, error) {
 	if opt.Overlap <= 0 {
 		opt.Overlap = DefaultOverlap
 	}
-	if err := prog.Validate(opt.Catalog); err != nil {
+	// Validation runs with the catalog's StatelessCatalog extension
+	// hidden: replication of a stateful component then surfaces as a
+	// replication-pass Error finding (a rendered diagnosis and exit 1
+	// from xspclvet) instead of a load-stage hard error. The runtime
+	// keeps the hard rejection — hinch.NewApp validates with the full
+	// registry.
+	if err := prog.Validate(structuralOnly{opt.Catalog}); err != nil {
 		return nil, err
 	}
 	dirs, err := classDirs(prog, opt.Catalog)
@@ -212,6 +219,9 @@ func Analyze(prog *graph.Program, opt Options) (*Report, error) {
 	}
 	if a.enabled(PassFaults) {
 		a.faults()
+	}
+	if a.enabled(PassReplication) {
+		a.replication()
 	}
 
 	sort.SliceStable(a.rep.Findings, func(i, j int) bool {

@@ -40,46 +40,53 @@ func Register(r *hinch.Registry) {
 		Doc: "motion-JPEG source producing compressed packets",
 	})
 	r.Register("copyplane", hinch.ClassSpec{
-		New: func() hinch.Component { return &CopyPlane{} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "copies one color plane (sliceable)",
+		New:       func() hinch.Component { return &CopyPlane{} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "copies one color plane (sliceable)",
+		Stateless: true,
 	})
 	r.Register("downscale", hinch.ClassSpec{
-		New: func() hinch.Component { return &Downscale{} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "spatial box downscaler for one color plane (sliceable)",
+		New:       func() hinch.Component { return &Downscale{} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "spatial box downscaler for one color plane (sliceable)",
+		Stateless: true,
 	})
 	r.Register("blend", hinch.ClassSpec{
-		New: func() hinch.Component { return &Blend{} },
-		In:  []string{"small", "canvas"},
-		Out: []string{"out"},
-		Doc: "picture-in-picture blender for one color plane (sliceable, repositionable)",
+		New:       func() hinch.Component { return &Blend{} },
+		In:        []string{"small", "canvas"},
+		Out:       []string{"out"},
+		Doc:       "picture-in-picture blender for one color plane (sliceable, repositionable)",
+		Stateless: true,
 	})
 	r.Register("jpegdecode", hinch.ClassSpec{
-		New: func() hinch.Component { return &JPEGDecode{} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "JPEG entropy decoder producing dequantised coefficient planes",
+		New:       func() hinch.Component { return &JPEGDecode{} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "JPEG entropy decoder producing dequantised coefficient planes",
+		Stateless: true,
 	})
 	r.Register("idct", hinch.ClassSpec{
-		New: func() hinch.Component { return &IDCT{} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "inverse DCT for one color plane (sliceable by block rows)",
+		New:       func() hinch.Component { return &IDCT{} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "inverse DCT for one color plane (sliceable by block rows)",
+		Stateless: true,
 	})
 	r.Register("blurh", hinch.ClassSpec{
-		New: func() hinch.Component { return &Blur{horizontal: true} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "horizontal Gaussian blur phase on luminance (sliceable)",
+		New:       func() hinch.Component { return &Blur{horizontal: true} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "horizontal Gaussian blur phase on luminance (sliceable)",
+		Stateless: true,
 	})
 	r.Register("blurv", hinch.ClassSpec{
-		New: func() hinch.Component { return &Blur{horizontal: false} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "vertical Gaussian blur phase on luminance (sliceable, needs halo rows)",
+		New:       func() hinch.Component { return &Blur{horizontal: false} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "vertical Gaussian blur phase on luminance (sliceable, needs halo rows)",
+		Stateless: true,
 	})
 	r.Register("videosink", hinch.ClassSpec{
 		New: func() hinch.Component { return &VideoSink{} },

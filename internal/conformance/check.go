@@ -148,11 +148,11 @@ func Check(seed uint64, opt Options) error {
 	// Sim twice — once on the built program, once on the round-tripped
 	// one. The sim backend is deterministic, so the runs must agree on
 	// every observable, including event/reconfiguration order.
-	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace)
+	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim: %w", seed, err)
 	}
-	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace)
+	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim(round-tripped): %w", seed, err)
 	}
@@ -168,7 +168,7 @@ func Check(seed uint64, opt Options) error {
 		if opt.Perturb {
 			hooks = &perturb{seed: mix(seed, uint64(w))}
 		}
-		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace)
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace, false)
 		if err != nil {
 			return fmt.Errorf("seed %d: real/%dw: %w", seed, w, err)
 		}
@@ -184,8 +184,10 @@ func Check(seed uint64, opt Options) error {
 // observation. Every run gets a fresh registry: conformance component
 // instances hold per-run state. With traced set, the flight recorder
 // rides along and the recorded trace is validated against the report
-// before the observation is returned.
-func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks, traced bool) (obs *Observation, err error) {
+// before the observation is returned. With tune set, the autotuner runs
+// (resizing replica widths and stream depths mid-run); the observation
+// must be unaffected, which is exactly what CheckReplicated asserts.
+func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks, traced, tune bool) (obs *Observation, err error) {
 	defer func() {
 		// The runtime surfaces dependency violations as panics (e.g.
 		// Stream.slotFor on an unacquired iteration, or a nil-payload
@@ -206,6 +208,11 @@ func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hook
 		PipelineDepth:  g.Depth,
 		StreamCapacity: g.StreamCap,
 		Hooks:          hooks,
+		Autotune:       tune,
+	}
+	if tune && backend == hinch.BackendReal {
+		// Tick fast so even short perturbed runs see live resizes.
+		cfg.TuneEpochWall = 200 * time.Microsecond
 	}
 	var rec *trace.Recorder
 	if traced {

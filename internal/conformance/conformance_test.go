@@ -65,6 +65,69 @@ func TestConformanceTracedSmoke(t *testing.T) {
 	}
 }
 
+// TestReplicatedConformanceSmoke is the CI gate for width-based
+// replication: the smoke seeds re-run with replicate= attributes
+// injected on their stateless spine stages and the autotuner live on
+// every backend. The sink output must stay bit-identical to the
+// unreplicated oracle at every worker count while widths and stream
+// depths resize mid-run — under schedule perturbation and (in the CI
+// -race lane) the race detector, this is the proof that concurrent
+// same-task iterations and live resizes are safe.
+// CONFORMANCE_SEED replays a single seed, as in TestConformanceSmoke.
+func TestReplicatedConformanceSmoke(t *testing.T) {
+	if env := os.Getenv("CONFORMANCE_SEED"); env != "" {
+		seed, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CONFORMANCE_SEED=%q: %v", env, err)
+		}
+		if err := CheckReplicated(seed, Options{Perturb: true, Logf: t.Logf}); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	for _, seed := range smokeSeeds {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckReplicated(seed, Options{Perturb: true, Workers: []int{1, 2, 4, 8}}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGeneratedReplicatedProgramsValid sweeps the replicated generator
+// through validation and the round-trip, and asserts the injector
+// actually replicates at least one stage of every program.
+func TestGeneratedReplicatedProgramsValid(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		g, err := GenerateReplicated(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nrep := 0
+		for _, n := range g.Prog.Components() {
+			if n.Params[graph.ReplicateParam] != "" {
+				nrep++
+			}
+		}
+		if nrep == 0 {
+			t.Fatalf("seed %d: injector left the program unreplicated", seed)
+		}
+		xml, err := xspcl.EmitXML(g.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: emit: %v", seed, err)
+		}
+		prog2, err := xspcl.Load(xml)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if a, b := g.Prog.String(), prog2.String(); a != b {
+			t.Fatalf("seed %d: replicated round-trip changed the program:\n--- built ---\n%s\n--- reparsed ---\n%s", seed, a, b)
+		}
+	}
+}
+
 // TestGeneratedProgramsValid sweeps a seed range through generation,
 // superplan construction and the emit→parse round-trip, and asserts the
 // generator actually produces every program family it advertises.
@@ -130,7 +193,7 @@ func TestOracleMatchesSim(t *testing.T) {
 			continue
 		}
 		checked++
-		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil, false)
+		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil, false, false)
 		if err != nil {
 			t.Fatalf("seed %d: sim: %v", seed, err)
 		}

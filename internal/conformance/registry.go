@@ -363,6 +363,9 @@ func Registry() *hinch.Registry {
 		In:  []string{"in"},
 		Out: []string{"out"},
 		Doc: "spine transform: folds stamp + cell ranges into the accumulator",
+		// Run reads only Init-time config and the per-iteration payload,
+		// so concurrent iterations of one instance are race-free.
+		Stateless: true,
 	})
 	r.Register("creconf", hinch.ClassSpec{
 		New: func() hinch.Component { return &creconf{} },
@@ -375,12 +378,16 @@ func Registry() *hinch.Registry {
 		In:  []string{"in"},
 		Out: []string{"out"},
 		Doc: "data-parallel member: writes cells[base+slice] from its lineage input",
+		// Writes only its own disjoint cell of the per-iteration payload.
+		Stateless: true,
 	})
 	r.Register("cjoin", hinch.ClassSpec{
 		New: func() hinch.Component { return &cjoin{} },
 		In:  []string{"a", "b"},
 		Out: []string{"out"},
 		Doc: "merges two source branches into one spine",
+		// Pure function of the two per-iteration payloads and the stamp.
+		Stateless: true,
 	})
 	r.Register("csink", hinch.ClassSpec{
 		New: func() hinch.Component { return &csink{} },

@@ -22,7 +22,9 @@ type Catalog interface {
 //     positive,
 //   - if catalog is non-nil: classes exist, every class port is
 //     connected exactly once, every declared stream has at least one
-//     writer and one reader.
+//     writer and one reader, and components declaring replicate= name
+//     classes the catalog registers as stateless (when the catalog
+//     implements StatelessCatalog).
 //
 // The flattened per-configuration invariants (unique instance names,
 // acyclicity) are re-checked by BuildPlan.
@@ -68,12 +70,21 @@ func (p *Program) Validate(catalog Catalog) error {
 			if _, err := NodePolicy(n); err != nil {
 				return fmt.Errorf("graph: component %q: %w", n.Name, err)
 			}
+			rep, err := NodeReplicate(n)
+			if err != nil {
+				return fmt.Errorf("graph: component %q: %w", n.Name, err)
+			}
 			for port, stream := range n.Ports {
 				if !streams[stream] {
 					return fmt.Errorf("graph: component %q port %q references undeclared stream %q", n.Name, port, stream)
 				}
 			}
 			if catalog != nil {
+				if !rep.IsDefault() {
+					if sc, ok := catalog.(StatelessCatalog); ok && !sc.ClassStateless(n.Class) {
+						return fmt.Errorf("graph: component %q (class %s) declares replicate=%q but the class is not registered stateless", n.Name, n.Class, n.Params[ReplicateParam])
+					}
+				}
 				in, out, err := catalog.ClassPorts(n.Class)
 				if err != nil {
 					return fmt.Errorf("graph: component %q: %w", n.Name, err)

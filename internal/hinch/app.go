@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xspcl/internal/graph"
 	"xspcl/internal/spacecake"
@@ -106,6 +107,28 @@ type Config struct {
 	// FaultInjector. Nil in production — the fault-free path pays one
 	// branch per component dispatch.
 	Faults FaultInjector
+
+	// Autotune enables the feedback autotuner: at fixed epochs the
+	// runtime samples its occupancy and backpressure counters and
+	// resizes the replica widths of components declared
+	// replicate="auto" and the live stream-FIFO capacity. Without it,
+	// auto widths stay at 1. Decisions land in Report.Tune/TuneLog and
+	// the trace (TraceTune).
+	Autotune bool
+
+	// TuneEpochCycles is the autotuner's epoch length on the sim
+	// backend, in virtual cycles; decisions fire at virtual-time
+	// boundaries, so the decision trace is deterministic. Defaults to
+	// 50000.
+	TuneEpochCycles int64
+
+	// TuneEpochWall is the autotuner's epoch length on the real
+	// backend. Defaults to 2ms.
+	TuneEpochWall time.Duration
+
+	// MaxReplicaWidth caps every auto replica width. 0 means bounded
+	// only by PipelineDepth, Cores and the prediction model.
+	MaxReplicaWidth int
 }
 
 // withDefaults fills unset fields.
@@ -130,6 +153,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CreateOpsPerComponent == 0 {
 		c.CreateOpsPerComponent = 4000
+	}
+	if c.TuneEpochCycles <= 0 {
+		c.TuneEpochCycles = 50000
+	}
+	if c.TuneEpochWall <= 0 {
+		c.TuneEpochWall = 2 * time.Millisecond
 	}
 	return c
 }

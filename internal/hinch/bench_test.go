@@ -1,7 +1,9 @@
 package hinch
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"xspcl/internal/graph"
 )
@@ -91,6 +93,59 @@ func BenchmarkFaultFreeOverhead(b *testing.B) {
 				}
 				if rep.Faults != 0 || rep.Retries != 0 || rep.Degradations != 0 {
 					b.Fatal("fault-free run recorded fault activity")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplicatedThroughput runs the spin-bottleneck chain on the
+// real backend at fixed replica widths: the width-2 and width-4 numbers
+// over width-1 show the throughput replication buys when the hot stage
+// is the serial bound (given enough CPUs; on a starved host the widths
+// converge to the same number).
+func BenchmarkReplicatedThroughput(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("width%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				app, err := NewApp(spinChainProg(20000, fmt.Sprint(w)), testRegistry(),
+					Config{Backend: BackendReal, Cores: 4, PipelineDepth: 8, EagerWorkers: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := app.Run(64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAutotuneOverhead tracks the autotuner's cost on the same
+// chain: "disabled" is the plain run (no tuner allocated), "idle" arms
+// the tuner on a program with no replicate="auto" stages (sampling
+// ticks, nothing to resize), "active" gives it an auto stage and a fast
+// epoch so it takes live decisions. Disabled and idle must stay within
+// noise of each other: the sampling path is two atomic adds per job and
+// a ticker under the engine lock.
+func BenchmarkAutotuneOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		rep  string
+		tune bool
+	}{{"disabled", "", false}, {"idle", "", true}, {"active", "auto", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := Config{Backend: BackendReal, Cores: 4, PipelineDepth: 8,
+					EagerWorkers: true, Autotune: bc.tune, TuneEpochWall: 200 * time.Microsecond}
+				app, err := NewApp(spinChainProg(2000, bc.rep), testRegistry(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := app.Run(200); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -66,6 +66,11 @@ type ClassSpec struct {
 	In, Out []string
 	// Doc is a one-line description shown by tooling.
 	Doc string
+	// Stateless declares that Run touches only per-iteration stream
+	// payloads and read-only configuration, so one instance may execute
+	// several iterations concurrently. Only stateless classes accept
+	// the replicate= attribute; validation rejects it elsewhere.
+	Stateless bool
 }
 
 // Registry maps class names to component implementations. It
@@ -115,6 +120,13 @@ func (r *Registry) ClassPorts(class string) (in, out []string, err error) {
 		return nil, nil, err
 	}
 	return spec.In, spec.Out, nil
+}
+
+// ClassStateless implements graph.StatelessCatalog: it reports whether
+// the class was registered with Stateless set. Unknown classes report
+// false.
+func (r *Registry) ClassStateless(class string) bool {
+	return r.classes[class].Stateless
 }
 
 // InitContext is handed to Component.Init. It exposes the instance's

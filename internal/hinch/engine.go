@@ -130,6 +130,19 @@ type engine struct {
 	bufActive int   // iterations currently holding stream buffers
 	bufParked []job // jobs waiting for stream buffers (backpressure)
 	bufSpare  []job // retired bufParked backing array, reused on refill
+	bufCap    int   // live stream-FIFO capacity; starts at StreamCapacity, tunable; guarded by mu
+
+	// widths[t] is task t's replica width: how many consecutive
+	// iterations of t may run concurrently. Width 1 (every task before
+	// replicate= existed) serialises the task across iterations; a
+	// stateless task at width W carries its cross-iteration dependency
+	// from iteration k-W instead of k-1, so up to W iterations of it
+	// execute at once, each on its own per-iteration stream slots.
+	// Written by setWidth (launch/tuner slow path), read lock-free on
+	// the completion fast path.
+	widths []atomic.Int32
+
+	tu *tuner // feedback autotuner; nil unless Config.Autotune
 
 	ready    readyQueue // sim backend: central job queue, oldest iteration first
 	perClass map[string]*ClassStats
@@ -235,6 +248,32 @@ func newEngine(a *App) *engine {
 	}
 	e.tr = a.cfg.Tracer
 	e.faults = a.cfg.Faults
+	e.bufCap = a.cfg.StreamCapacity
+	e.widths = make([]atomic.Int32, n)
+	for i := range e.widths {
+		e.widths[i].Store(1)
+	}
+	for _, t := range a.plan.Tasks {
+		if t.Role != graph.RoleComponent {
+			continue
+		}
+		rep, err := graph.TaskReplicate(t)
+		if err != nil || rep.Auto || rep.Width <= 1 {
+			// Auto widths start at 1; the tuner raises them at runtime.
+			// Syntax errors were rejected by Program.Validate.
+			continue
+		}
+		wd := rep.Width
+		if wd > a.cfg.PipelineDepth {
+			// The pipeline window admits at most PipelineDepth iterations,
+			// so a wider width could never be exercised.
+			wd = a.cfg.PipelineDepth
+		}
+		e.widths[t.ID].Store(int32(wd))
+	}
+	if a.cfg.Autotune {
+		e.tu = newTuner(e)
+	}
 	for _, t := range a.plan.Tasks {
 		if t.Role != graph.RoleComponent {
 			continue
@@ -450,9 +489,11 @@ func (e *engine) launch(w *wsWorker) {
 		for _, t := range plan.Tasks {
 			// Every task carries one cross-iteration dependency on top of
 			// its graph dependencies: an instance must finish iteration
-			// k-1 before starting iteration k (components are stateful;
-			// stream buffers recycle). It is satisfied through crossClaim,
-			// below or by the previous iteration's completions.
+			// k-W before starting iteration k, where W is the task's
+			// replica width (1 unless replicated — components are
+			// stateful by default; stream buffers recycle). It is
+			// satisfied through crossClaim, below or by an older
+			// iteration's completions.
 			it.remaining[t.ID].Store(int32(len(t.Deps)) + 1)
 		}
 		slot := &e.ring[k%len(e.ring)]
@@ -467,9 +508,9 @@ func (e *engine) launch(w *wsWorker) {
 				Worker: int32(traceShard(w) - 1), Iter: int32(k), ID: -1,
 			})
 		}
-		prev := e.iterAt(k - 1)
 		for _, t := range plan.Tasks {
-			if prev == nil || prev.done[t.ID].Load() {
+			back := e.iterAt(k - int(e.widths[t.ID].Load()))
+			if back == nil || back.done[t.ID].Load() {
 				if it.crossClaim[t.ID].CompareAndSwap(false, true) {
 					e.release(k, it, t.ID, w)
 				}
@@ -554,12 +595,18 @@ func (e *engine) complete(j job, w *wsWorker) (*reconfigResult, error) {
 	for _, succ := range it.plan.Succs[j.task.ID] {
 		e.release(j.iter, it, succ, w)
 	}
-	// Cross-iteration release: the done flag was published above, so if
-	// the next iteration is not visible yet, its launch will observe the
-	// flag and claim the release itself.
-	if next := e.iterAt(j.iter + 1); next != nil {
+	// Cross-iteration release, W iterations ahead: the done flag was
+	// published above, so if the target iteration is not visible yet,
+	// its launch will observe the flag and claim the release itself.
+	// The width is loaded after the done Swap; under Go's seq-cst
+	// atomics this orders against setWidth's ring sweep, so a resize
+	// either reaches this completion (new width targets the right
+	// iteration) or the sweep sees the done flag and claims the release
+	// — crossClaim deduplicates when both do.
+	wt := int(e.widths[j.task.ID].Load())
+	if next := e.iterAt(j.iter + wt); next != nil {
 		if next.crossClaim[j.task.ID].CompareAndSwap(false, true) {
-			e.release(j.iter+1, next, j.task.ID, w)
+			e.release(j.iter+wt, next, j.task.ID, w)
 		}
 	}
 	var res *reconfigResult
@@ -722,8 +769,11 @@ func (e *engine) needsBuffers(j job) bool {
 	if it == nil || it.acquired.Load() {
 		return false
 	}
-	if e.bufActive < e.app.cfg.StreamCapacity {
+	if e.bufActive < e.bufCap {
 		return false
+	}
+	if e.tu != nil {
+		e.tu.bufWaits++
 	}
 	e.bufParked = append(e.bufParked, j)
 	return true
@@ -743,6 +793,9 @@ func (e *engine) ensureBuffers(iter int) {
 		return
 	}
 	e.bufActive++
+	if e.tu != nil && e.bufActive > e.tu.bufHW {
+		e.tu.bufHW = e.bufActive
+	}
 	var ts int64
 	if e.tr != nil {
 		ts = e.traceTS(nil)
@@ -1250,6 +1303,10 @@ func (e *engine) report() *Report {
 	}
 	if e.app.tile != nil {
 		r.Cache = e.app.tile.Stats()
+	}
+	if e.tu != nil {
+		r.Tune = e.tu.stats
+		r.TuneLog = append([]TuneDecision(nil), e.tu.log...)
 	}
 	return r
 }

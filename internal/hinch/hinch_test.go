@@ -39,12 +39,20 @@ func (c *intSource) Run(rc *RunContext) error {
 	return nil
 }
 
-// doubler multiplies the int payload by 2.
-type doubler struct{ cost int64 }
+// doubler multiplies the int payload by 2. Registered stateless: Run
+// reads only Init-time fields, so concurrent replicas are safe. The
+// spin param burns real CPU on the real backend (Charge is a sim-only
+// accounting call), giving the autotuner a genuine bottleneck to widen.
+type doubler struct{ cost, spin int64 }
 
 func (c *doubler) Init(ic *InitContext) error {
 	n, err := ic.IntParam("cost", 100)
+	if err != nil {
+		return err
+	}
 	c.cost = int64(n)
+	s, err := ic.IntParam("spin", 0)
+	c.spin = int64(s)
 	return err
 }
 
@@ -53,9 +61,20 @@ func (c *doubler) Run(rc *RunContext) error {
 	if !ok {
 		return fmt.Errorf("doubler: payload %T", rc.In("in"))
 	}
-	rc.SetOut("out", 2*v)
+	rc.SetOut("out", 2*v+spinWork(c.spin))
 	rc.Charge(c.cost)
 	return nil
+}
+
+// spinWork burns roughly n iterations of integer arithmetic and returns
+// zero; the loop-carried dependency and the fed-back result keep the
+// compiler from discarding the loop.
+func spinWork(n int64) int {
+	h := uint64(n) | 1
+	for i := int64(0); i < n; i++ {
+		h = h*1664525 + 1013904223
+	}
+	return int(h >> 32 >> 32)
 }
 
 // adder adds a constant (param add) to the payload; used inside options
@@ -228,7 +247,7 @@ func (c *reconfigurable) Reconfigure(req string) error {
 func testRegistry() *Registry {
 	r := NewRegistry()
 	r.Register("intsrc", ClassSpec{New: func() Component { return &intSource{} }, Out: []string{"out"}})
-	r.Register("double", ClassSpec{New: func() Component { return &doubler{} }, In: []string{"in"}, Out: []string{"out"}})
+	r.Register("double", ClassSpec{New: func() Component { return &doubler{} }, In: []string{"in"}, Out: []string{"out"}, Stateless: true})
 	r.Register("adder", ClassSpec{New: func() Component { return &adder{} }, In: []string{"in"}, Out: []string{"out"}})
 	r.Register("intsink", ClassSpec{New: func() Component { return &intSink{} }, In: []string{"in"}})
 	r.Register("bmsrc", ClassSpec{New: func() Component { return &bitmapSource{} }, Out: []string{"out"}})

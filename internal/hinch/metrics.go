@@ -80,6 +80,12 @@ type Report struct {
 	Degradations int64
 	// Sched holds the work-stealing scheduler counters (real backend).
 	Sched SchedStats
+	// Tune summarises autotuner activity (Config.Autotune).
+	Tune TuneStats
+	// TuneLog is the autotuner's full decision trace, in decision
+	// order. On the sim backend it is deterministic for a fixed program
+	// and config. Excluded from the JSON report.
+	TuneLog []TuneDecision
 }
 
 // CyclesPerIteration returns the average virtual cost of one iteration.
@@ -125,6 +131,10 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, " steals=%d/%d global=%d parks=%d wakes=%d",
 			r.Sched.Steals, r.Sched.StealAttempts, r.Sched.GlobalPops, r.Sched.Parks, r.Sched.Wakes)
 	}
+	if r.Tune.Epochs > 0 {
+		fmt.Fprintf(&b, " tune: epochs=%d widen=%d shrink=%d depth=+%d/-%d",
+			r.Tune.Epochs, r.Tune.Widen, r.Tune.Shrink, r.Tune.DepthRaises, r.Tune.DepthDrops)
+	}
 	if r.Cache != (spacecake.Stats{}) {
 		fmt.Fprintf(&b, " L1miss=%.1f%% L2miss=%d", 100*r.Cache.L1MissRate(), r.Cache.L2Misses)
 	}
@@ -167,6 +177,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Retries            int64                 `json:"retries"`
 		Degradations       int64                 `json:"degradations"`
 		Sched              SchedStats            `json:"sched"`
+		Tune               TuneStats             `json:"tune"`
 		Cache              cacheJSON             `json:"cache"`
 		CoreBusy           []int64               `json:"core_busy,omitempty"`
 		PerClass           map[string]ClassStats `json:"per_class"`
@@ -186,6 +197,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Retries:            r.Retries,
 		Degradations:       r.Degradations,
 		Sched:              r.Sched,
+		Tune:               r.Tune,
 		Cache: cacheJSON{
 			L1Hits:        r.Cache.L1Hits,
 			L1Misses:      r.Cache.L1Misses,

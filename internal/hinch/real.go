@@ -42,6 +42,28 @@ func (e *engine) runReal() (*Report, error) {
 	e.launch(nil)
 	e.mu.Unlock()
 
+	// The autotuner samples on a wall-clock ticker, under the engine
+	// lock — resizes ride the same slow path as reconfigurations.
+	var tuStop, tuDone chan struct{}
+	if e.tu != nil {
+		tuStop, tuDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(tuDone)
+			tick := time.NewTicker(time.Duration(e.tu.epoch))
+			defer tick.Stop()
+			for {
+				select {
+				case <-tuStop:
+					return
+				case <-tick.C:
+					e.mu.Lock()
+					e.tuneEpoch()
+					e.mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	if e.ws.eager {
 		for _, w := range e.ws.workers {
 			spawn(w)
@@ -53,6 +75,11 @@ func (e *engine) runReal() (*Report, error) {
 		e.runWorker(e.ws.workers[0])
 	}
 	wg.Wait()
+	if e.tu != nil {
+		// Stopped before the tracer ends: tuneEpoch emits trace events.
+		close(tuStop)
+		<-tuDone
+	}
 
 	// Fold the per-worker metric shards into the engine totals. All
 	// shard counters merge here — dropping one on the floor means the
@@ -278,7 +305,14 @@ func (e *engine) execReal(w *wsWorker, j job) {
 	}
 	w.jobs++
 	w.stats[j.task.ID].Jobs++
+	var tuStart time.Time
+	if e.tu != nil {
+		tuStart = time.Now()
+	}
 	out := e.runPolicied(&w.rc, j, inst, false)
+	if e.tu != nil {
+		e.tu.busy[j.task.ID].Add(int64(time.Since(tuStart)))
+	}
 	if out.faults > 0 || out.retries > 0 {
 		w.stats[j.task.ID].Faults += out.faults
 		w.stats[j.task.ID].Retries += out.retries

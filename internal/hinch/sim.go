@@ -92,6 +92,15 @@ func (e *engine) runSim() (*Report, error) {
 		c := heap.Pop(&pending).(completion)
 		clock = c.at
 		e.simNow = clock
+		if e.tu != nil {
+			// Epochs fire at virtual-time boundaries, before the
+			// completion is applied, so the decision trace is a pure
+			// function of the virtual schedule — deterministic.
+			for clock >= e.tu.nextAt {
+				e.tuneEpoch()
+				e.tu.nextAt += e.tu.epoch
+			}
+		}
 		if c.core < 0 {
 			// A reconfiguration stall elapsed: the manager's subgraph
 			// resumes and the parked iterations may enter it.
@@ -188,6 +197,9 @@ func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 		cs.Faults += out.faults
 		cs.Retries += out.retries
 		dur = cost + rc.compute + mem + out.virtual
+		if e.tu != nil {
+			e.tu.busy[j.task.ID].Add(dur)
+		}
 		// Cost-budget watchdog (sim): a successful job whose virtual
 		// cost overruns its deadline (1ns = 1 cycle) degrades exactly
 		// like the real backend's wall-deadline overrun — a fault event

@@ -212,6 +212,23 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "t",
 				Args: map[string]any{"run": ev.Arg},
 			})
+		case hinch.TraceTune:
+			// An autotuner resize: ID names the task whose replica width
+			// changed (or -1 for the stream-FIFO capacity), Arg packs the
+			// transition as from<<32|to.
+			knob := "streams"
+			if ev.ID >= 0 {
+				knob = nameOf(meta.Tasks, ev.ID, "task")
+			}
+			events = append(events, chromeEvent{
+				Name: "tune " + knob, Cat: "tune", Ph: "i",
+				TS: us(ev.TS), PID: 0, TID: runtimeTID, S: "t",
+				Args: map[string]any{
+					"epoch": ev.Iter,
+					"from":  ev.Arg >> 32,
+					"to":    ev.Arg & 0xffffffff,
+				},
+			})
 		case hinch.TraceGlobalPop:
 			events = append(events, chromeEvent{
 				Name: "global pop", Cat: "sched", Ph: "i",

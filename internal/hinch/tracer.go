@@ -92,6 +92,10 @@ const (
 	// header per run; Arg = the run length (jobs executed back-to-back).
 	// The per-job TraceJobSpan events are emitted as usual.
 	TraceBatch
+	// TraceTune: the autotuner resized a knob. ID = the task whose
+	// replica width changed, or -1 for the stream-FIFO capacity; Iter =
+	// the tuning epoch; Arg packs the transition as from<<32|to.
+	TraceTune
 )
 
 // String names the kind for exporters and diagnostics.
@@ -137,6 +141,8 @@ func (k TraceKind) String() string {
 		return "degrade"
 	case TraceBatch:
 		return "batch"
+	case TraceTune:
+		return "tune"
 	}
 	return "unknown"
 }

@@ -1,4 +1,4 @@
-package predict
+package predict_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"xspcl/internal/apps"
 	"xspcl/internal/graph"
+	"xspcl/internal/predict"
 )
 
 func pipProgram(t *testing.T) *graph.Program {
@@ -20,7 +21,7 @@ func pipProgram(t *testing.T) *graph.Program {
 
 func TestPredictPiPBasics(t *testing.T) {
 	prog := pipProgram(t)
-	p, err := Predict(prog, nil, NewDefaultModel(), 9, 5)
+	p, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestPredictionTracksSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, err := Predict(prog, nil, NewDefaultModel(), 4, 5)
+	pred, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestPredictSpeedupOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	pipProg := pipProgram(t)
-	blur, err := Predict(blurProg, nil, NewDefaultModel(), 9, 5)
+	blur, err := predict.Predict(blurProg, nil, predict.NewDefaultModel(), 9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pip, err := Predict(pipProg, nil, NewDefaultModel(), 9, 5)
+	pip, err := predict.Predict(pipProg, nil, predict.NewDefaultModel(), 9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,11 +109,11 @@ func TestPredictRespectsOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := Predict(prog, map[string]bool{"pip2": true}, NewDefaultModel(), 1, 5)
+	on, err := predict.Predict(prog, map[string]bool{"pip2": true}, predict.NewDefaultModel(), 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Predict(prog, map[string]bool{"pip2": false}, NewDefaultModel(), 1, 5)
+	off, err := predict.Predict(prog, map[string]bool{"pip2": false}, predict.NewDefaultModel(), 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,24 +124,24 @@ func TestPredictRespectsOptions(t *testing.T) {
 
 func TestPredictErrors(t *testing.T) {
 	prog := pipProgram(t)
-	if _, err := Predict(prog, nil, NewDefaultModel(), 0, 5); err == nil {
+	if _, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 0, 5); err == nil {
 		t.Fatal("maxNodes 0 accepted")
 	}
-	if _, err := Predict(prog, map[string]bool{"nosuch": true}, NewDefaultModel(), 2, 5); err == nil {
+	if _, err := predict.Predict(prog, map[string]bool{"nosuch": true}, predict.NewDefaultModel(), 2, 5); err == nil {
 		t.Fatal("unknown option accepted")
 	}
 	// Unknown class fails cleanly.
 	b := graph.NewBuilder("x")
 	b.Stream("s")
 	b.Body(b.Component("c", "mystery", graph.Ports{"out": "s"}, nil))
-	if _, err := Predict(b.MustProgram(), nil, NewDefaultModel(), 2, 5); err == nil {
+	if _, err := predict.Predict(b.MustProgram(), nil, predict.NewDefaultModel(), 2, 5); err == nil {
 		t.Fatal("unknown class accepted")
 	}
 }
 
 func TestMaxUsefulNodesAndEfficiency(t *testing.T) {
 	prog := pipProgram(t)
-	p, err := Predict(prog, nil, NewDefaultModel(), 9, 5)
+	p, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestMaxUsefulNodesAndEfficiency(t *testing.T) {
 
 func TestPipelineDepthImprovesPrediction(t *testing.T) {
 	prog := pipProgram(t)
-	deep, err := Predict(prog, nil, NewDefaultModel(), 9, 5)
+	deep, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shallow, err := Predict(prog, nil, NewDefaultModel(), 9, 1)
+	shallow, err := predict.Predict(prog, nil, predict.NewDefaultModel(), 9, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,13 +80,14 @@ type Item interface{ itemNode() }
 
 // Component is a <component> leaf.
 type Component struct {
-	Name     string
-	Class    string
-	Streams  []StreamRef
-	Inits    []InitParam
-	Reconfig string // optional initial reconfiguration request (paper §3.1)
-	OnError  string // failure policy attribute (fail | skip-iteration | retry:N[,backoff=Kx])
-	Deadline string // per-job budget attribute (Go duration)
+	Name      string
+	Class     string
+	Streams   []StreamRef
+	Inits     []InitParam
+	Reconfig  string // optional initial reconfiguration request (paper §3.1)
+	OnError   string // failure policy attribute (fail | skip-iteration | retry:N[,backoff=Kx])
+	Deadline  string // per-job budget attribute (Go duration)
+	Replicate string // replica width attribute (positive integer | auto)
 }
 
 // StreamRef connects a component port to a stream.
@@ -250,6 +251,7 @@ func decodeComponent(d *xml.Decoder, start xml.StartElement) (*Component, error)
 	c := &Component{
 		Name: attr(start, "name"), Class: attr(start, "class"),
 		OnError: attr(start, "on_error"), Deadline: attr(start, "deadline"),
+		Replicate: attr(start, "replicate"),
 	}
 	err := decodeChildren(d, start, func(dd *xml.Decoder, s xml.StartElement) error {
 		switch s.Name.Local {

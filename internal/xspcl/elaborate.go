@@ -162,6 +162,13 @@ func (el *elaborator) component(c *Component, prefix string, e env) (*graph.Node
 		}
 		n.Params[graph.DeadlineParam] = v
 	}
+	if c.Replicate != "" {
+		v, err := subst(c.Replicate, e, where)
+		if err != nil {
+			return nil, err
+		}
+		n.Params[graph.ReplicateParam] = v
+	}
 	return n, nil
 }
 

@@ -72,12 +72,15 @@ func emitXMLNode(b *strings.Builder, n *graph.Node, depth int) error {
 		if v, ok := n.Params[graph.DeadlineParam]; ok {
 			fmt.Fprintf(b, " deadline=%q", xmlEscape(v))
 		}
+		if v, ok := n.Params[graph.ReplicateParam]; ok {
+			fmt.Fprintf(b, " replicate=%q", xmlEscape(v))
+		}
 		b.WriteString(">\n")
 		for _, port := range sortedKeysOf(n.Ports) {
 			fmt.Fprintf(b, "%s  <stream port=%q name=%q/>\n", ind, port, n.Ports[port])
 		}
 		for _, p := range sortedKeysOf(n.Params) {
-			if p == graph.ReconfigParam || p == graph.OnErrorParam || p == graph.DeadlineParam {
+			if p == graph.ReconfigParam || p == graph.OnErrorParam || p == graph.DeadlineParam || p == graph.ReplicateParam {
 				continue
 			}
 			fmt.Fprintf(b, "%s  <init name=%q value=%q/>\n", ind, p, xmlEscape(n.Params[p]))

@@ -1,0 +1,154 @@
+package xspcl
+
+import (
+	"strings"
+	"testing"
+
+	"xspcl/internal/graph"
+)
+
+// replicateDoc exercises every grammar interaction of the replicate
+// attribute: a fixed width on a plain spine stage, a width combined
+// with a failure policy, auto inside a manager option, and a width on
+// a data-parallel slice member.
+const replicateDoc = `
+<xspcl name="rep">
+  <streams>
+    <stream name="a"/>
+    <stream name="b"/>
+    <stream name="c"/>
+    <stream name="d"/>
+  </streams>
+  <queues>
+    <queue name="q"/>
+  </queues>
+  <procedure name="main">
+    <body>
+      <component name="src" class="nullsrc">
+        <stream port="out" name="a"/>
+      </component>
+      <component name="wide" class="nullfilter" replicate="4">
+        <stream port="in" name="a"/>
+        <stream port="out" name="b"/>
+      </component>
+      <component name="guarded" class="nullfilter" replicate="2" on_error="retry:2,backoff=2x,base=100us">
+        <stream port="in" name="b"/>
+        <stream port="out" name="c"/>
+      </component>
+      <manager name="mgr" queue="q">
+        <on event="flip" action="toggle" option="extra"/>
+        <body>
+          <option name="extra" default="on">
+            <body>
+              <component name="tuned" class="nullfilter" replicate="auto">
+                <stream port="in" name="c"/>
+                <stream port="out" name="c"/>
+              </component>
+            </body>
+          </option>
+        </body>
+      </manager>
+      <parallel shape="slice" n="3">
+        <parblock>
+          <component name="sl" class="nullfilter" replicate="2">
+            <stream port="in" name="c"/>
+            <stream port="out" name="d"/>
+          </component>
+        </parblock>
+      </parallel>
+      <component name="snk" class="nullsink">
+        <stream port="in" name="d"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>`
+
+// findComponent returns the named component node.
+func findComponent(t *testing.T, prog *graph.Program, name string) *graph.Node {
+	t.Helper()
+	var found *graph.Node
+	graph.Walk(prog.Root, func(n *graph.Node) {
+		if n.Kind == graph.KindComponent && n.Name == name {
+			found = n
+		}
+	})
+	if found == nil {
+		t.Fatalf("component %s not found", name)
+	}
+	return found
+}
+
+// TestReplicateAttrElaborates: the replicate attribute lands in the
+// elaborated graph as the reserved param the runtime parses, in every
+// grammatical position (spine, with on_error, inside options, inside
+// slice groups).
+func TestReplicateAttrElaborates(t *testing.T) {
+	prog := mustLoad(t, replicateDoc)
+	for _, tc := range []struct {
+		name string
+		raw  string
+		auto bool
+		wid  int
+	}{
+		{"wide", "4", false, 4},
+		{"guarded", "2", false, 2},
+		{"tuned", "auto", true, 1},
+		{"sl", "2", false, 2},
+	} {
+		n := findComponent(t, prog, tc.name)
+		if got := n.Params[graph.ReplicateParam]; got != tc.raw {
+			t.Fatalf("%s: replicate param = %q, want %q", tc.name, got, tc.raw)
+		}
+		rep, err := graph.NodeReplicate(n)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.Auto != tc.auto || rep.Width != tc.wid {
+			t.Fatalf("%s: parsed spec %+v, want auto=%v width=%d", tc.name, rep, tc.auto, tc.wid)
+		}
+	}
+	// The policy attribute coexists on the same node.
+	guarded := findComponent(t, prog, "guarded")
+	if pol, err := graph.NodePolicy(guarded); err != nil || pol.Action != graph.PolicyRetry {
+		t.Fatalf("guarded: policy %+v err %v — replicate displaced on_error", pol, err)
+	}
+	// Unmarked components parse as the width-1 default.
+	rep, err := graph.NodeReplicate(findComponent(t, prog, "src"))
+	if err != nil || !rep.IsDefault() {
+		t.Fatalf("src: spec %+v err %v, want default", rep, err)
+	}
+}
+
+// TestReplicateAttrRoundTrip: replicate survives emit → parse as an
+// attribute (never as an init param), alongside on_error.
+func TestReplicateAttrRoundTrip(t *testing.T) {
+	prog := mustLoad(t, replicateDoc)
+	if err := VerifyRoundTrip(prog); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := EmitXML(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`replicate="4"`, `replicate="auto"`, `on_error="retry:2,backoff=2x,base=100us"`} {
+		if !strings.Contains(xml, want) {
+			t.Fatalf("emitted XML missing %s:\n%s", want, xml)
+		}
+	}
+	if strings.Contains(xml, "@replicate") {
+		t.Fatalf("reserved param name leaked into the XML:\n%s", xml)
+	}
+}
+
+// TestReplicateAttrRejected: malformed replicate attributes fail at
+// load time with a message naming the attribute.
+func TestReplicateAttrRejected(t *testing.T) {
+	for _, bad := range []string{"0", "-3", "1.5", "lots", "2x"} {
+		t.Run(bad, func(t *testing.T) {
+			doc := strings.Replace(replicateDoc, `replicate="4"`, `replicate="`+bad+`"`, 1)
+			if _, err := Load(doc); err == nil || !strings.Contains(err.Error(), "replicate") {
+				t.Fatalf("Load error = %v, want a replicate diagnosis", err)
+			}
+		})
+	}
+}

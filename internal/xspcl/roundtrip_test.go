@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"xspcl/internal/apps"
+	"xspcl/internal/components"
+	"xspcl/internal/graph"
 	"xspcl/internal/xspcl"
 )
 
@@ -21,6 +23,46 @@ func TestVariantsRoundTrip(t *testing.T) {
 			prog, err := xspcl.Load(v.XML)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if err := xspcl.VerifyRoundTrip(prog); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestVariantsReplicatedRoundTrip re-runs the round-trip property over
+// the paper variants with replicate attributes injected on their
+// stateless transform stages (widths cycling 2, 4, auto), and asserts
+// the injected programs still validate against the full registry. This
+// pins that replication composes with everything the variants exercise
+// — slices, crossdep groups, managers, options, failure policies.
+func TestVariantsReplicatedRoundTrip(t *testing.T) {
+	reg := components.DefaultRegistry()
+	widths := []string{"2", "4", "auto"}
+	for _, v := range apps.Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			prog, err := xspcl.Load(v.XML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := 0
+			graph.Walk(prog.Root, func(n *graph.Node) {
+				if n.Kind != graph.KindComponent || !reg.ClassStateless(n.Class) {
+					return
+				}
+				if n.Params == nil {
+					n.Params = graph.Params{}
+				}
+				n.Params[graph.ReplicateParam] = widths[injected%len(widths)]
+				injected++
+			})
+			if injected == 0 {
+				t.Skipf("variant %s has no stateless stages", v.Name)
+			}
+			if err := prog.Validate(reg); err != nil {
+				t.Fatalf("replicated variant invalid: %v", err)
 			}
 			if err := xspcl.VerifyRoundTrip(prog); err != nil {
 				t.Fatal(err)

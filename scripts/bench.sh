@@ -10,8 +10,11 @@
 #     BenchmarkSimSchedule/BenchmarkRealSchedule (internal/hinch), run
 #     at -cpu 1,4,8 to show work-stealing scaling, plus
 #     BenchmarkTraceOverhead (flight-recorder cost: nil vs ring tracer
-#     on the scheduler-bound workload) and BenchmarkFaultFreeOverhead
-#     (fault-tolerance idle cost: default vs never-firing policies).
+#     on the scheduler-bound workload), BenchmarkFaultFreeOverhead
+#     (fault-tolerance idle cost: default vs never-firing policies),
+#     BenchmarkReplicatedThroughput (replica-width scaling on a spin
+#     bottleneck) and BenchmarkAutotuneOverhead (tuner disabled vs.
+#     idle vs. active).
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
 #   - Analyzer benches (internal/analysis): xspclvet wall time on every
@@ -64,6 +67,14 @@ def load(path):
 
 old, new = load(old_path), load(new_path)
 common = sorted(k for k in new if k in old)
+# Benchmarks on only one side are reported, never failed on: a PR that
+# adds or retires a benchmark must not trip the regression gate.
+added = sorted(k for k in new if k not in old)
+removed = sorted(k for k in old if k not in new)
+for key in added:
+    print(f"note: {key[1]} ({key[0]}) only in {new_path} (new benchmark, not compared)")
+for key in removed:
+    print(f"note: {key[1]} ({key[0]}) only in {old_path} (retired benchmark, not compared)")
 if not common:
     sys.exit(f"bench.sh compare: no common benchmarks between {old_path} and {new_path}")
 
@@ -132,6 +143,9 @@ else
   # machinery unused (nil injector / never-firing policies) — tracked so
   # the fault-free fast path stays free.
   run_bench ./internal/hinch/ 'BenchmarkFaultFreeOverhead' -benchmem
+  # Replication + autotuner: width scaling on the spin-bottleneck chain
+  # and the tuner's disabled/idle/active cost on the same workload.
+  run_bench ./internal/hinch/ 'BenchmarkReplicatedThroughput|BenchmarkAutotuneOverhead' -benchmem
   run_bench ./internal/kernels/ '.' -benchmem
   # Static-analyzer wall time on every built-in app variant: xspclvet
   # runs on each xspclc invocation, so its cost is part of the perf
