@@ -442,6 +442,52 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	b.Run("ring", func(b *testing.B) { run(b, trace.New(0)) })
 }
 
+// BenchmarkTelemetryOverhead measures what Config.Telemetry costs on
+// the real backend's dispatch path: "off" is the production
+// configuration (every record site is one nil check), "on" pays the
+// live counters plus the 1-in-32 sampled service-time records, and
+// "scraped" additionally hammers App.Snapshot from a second goroutine
+// for the whole run — the /metrics-under-load case. The acceptance bar
+// is an on/off ns-per-op gap inside a few percent with the dispatch
+// path's zero marginal allocations preserved.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, telemetry, scraped bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			app, err := hinch.NewApp(schedThroughputProgram(), components.DefaultRegistry(), hinch.Config{
+				Backend: hinch.BackendReal, Cores: 4, Workless: true, Telemetry: telemetry,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stop chan struct{}
+			if scraped {
+				stop = make(chan struct{})
+				go func() {
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							app.Snapshot()
+						}
+					}
+				}()
+			}
+			_, err = app.Run(64)
+			if scraped {
+				close(stop)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, false) })
+	b.Run("on", func(b *testing.B) { run(b, true, false) })
+	b.Run("scraped", func(b *testing.B) { run(b, true, true) })
+}
+
 // BenchmarkEagerVsLazyCreation ablates the paper's §3.4 design choice
 // of pre-creating option components as soon as the toggle event is
 // detected ("reconfiguration time is reduced") against creating them

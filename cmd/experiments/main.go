@@ -26,10 +26,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"xspcl/internal/apps"
 	"xspcl/internal/hinch/trace"
+	"xspcl/internal/obs"
 	"xspcl/internal/profiling"
 )
 
@@ -44,10 +47,11 @@ func main() {
 	traceOut := flag.String("trace", "", "record one traced run and write Perfetto JSON to this file")
 	traceApp := flag.String("traceapp", "Blur-35", "variant to run under -trace")
 	report := flag.String("report", "text", "report format for -trace runs: text or json")
+	httpAddr := flag.String("http", "", "serve the live ops surface during a -trace run on this address (implies telemetry)")
 	flag.Parse()
 
 	if *traceOut != "" {
-		if err := runTraced(*traceApp, *nodes, *workless, *traceOut, *report); err != nil {
+		if err := runTraced(*traceApp, *nodes, *workless, *traceOut, *report, *httpAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -137,7 +141,7 @@ func main() {
 // flight recorder attached, writes the Perfetto export, and prints the
 // run's report. Sim-backend traces are deterministic, so re-running
 // the same variant yields a byte-identical file.
-func runTraced(name string, nodes int, workless bool, out, report string) error {
+func runTraced(name string, nodes int, workless bool, out, report, httpAddr string) error {
 	v, err := apps.VariantByName(name)
 	if err != nil {
 		return err
@@ -145,7 +149,21 @@ func runTraced(name string, nodes int, workless bool, out, report string) error 
 	cfg := apps.SimConfig(nodes, apps.RunOptions{Workless: workless})
 	rec := trace.New(0)
 	cfg.Tracer = rec
-	rep, _, err := v.Run(cfg)
+	cfg.Telemetry = httpAddr != ""
+	app, err := v.NewApp(cfg)
+	if err != nil {
+		return err
+	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", ln.Addr())
+		go http.Serve(ln, obs.NewServer(app, rec).Handler())
+	}
+	rep, err := app.Run(v.Frames)
 	if err != nil {
 		return err
 	}

@@ -24,12 +24,24 @@
 // feedback while the run executes, and stream-FIFO capacity follows
 // backpressure. Decisions appear in the report (tune: ...) and, with
 // -trace, as instant events on the runtime track.
+//
+// The -http flag enables live telemetry and serves the ops surface
+// (/metrics, /statusz, /healthz, /debug/pprof, /debug/trace) on the
+// given address while the run executes:
+//
+//	xspclrun -builtin Blur-35 -backend real -cores 4 -http :8080
+//
+// The -watch flag enables telemetry and redraws a live per-stage
+// dashboard on stderr while the run executes (xspcltop offers the same
+// view against a remote -http address).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -37,6 +49,7 @@ import (
 	"xspcl/internal/components"
 	"xspcl/internal/hinch"
 	"xspcl/internal/hinch/trace"
+	"xspcl/internal/obs"
 	"xspcl/internal/profiling"
 	"xspcl/internal/xspcl"
 )
@@ -57,13 +70,23 @@ func main() {
 	autotune := flag.Bool("autotune", false, "enable the feedback autotuner (resizes replicate=auto widths and stream depths)")
 	tuneEpoch := flag.Int64("tune-epoch", 0, "autotuner epoch length in simulated cycles (sim backend; 0 = default; size it to cover several jobs of the hottest stage)")
 	tuneEpochWall := flag.Duration("tune-epoch-wall", 0, "autotuner epoch length in wall time (real backend; 0 = default)")
+	httpAddr := flag.String("http", "", "serve the live ops surface (/metrics, /statusz, /healthz, pprof, /debug/trace) on this address; implies telemetry")
+	watch := flag.String("watch", "", "redraw a live dashboard on stderr at this interval (e.g. 500ms); implies telemetry")
 	flag.Parse()
 
+	var watchEvery time.Duration
+	if *watch != "" {
+		var err error
+		watchEvery, err = time.ParseDuration(*watch)
+		if err != nil || watchEvery <= 0 {
+			fail(fmt.Errorf("bad -watch interval %q", *watch))
+		}
+	}
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
 	}
-	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *pin, *autotune, *tuneEpoch, *tuneEpochWall, *traceOut, *report, *inject); err != nil {
+	if err := run(*cores, *frames, *pipeline, *backend, *builtin, *workless, *pin, *autotune, *tuneEpoch, *tuneEpochWall, *traceOut, *report, *inject, *httpAddr, watchEvery); err != nil {
 		stop()
 		fail(err)
 	}
@@ -72,9 +95,10 @@ func main() {
 	}
 }
 
-func run(cores, frames, pipeline int, backend, builtin string, workless, pin, autotune bool, tuneEpoch int64, tuneEpochWall time.Duration, traceOut, report, inject string) error {
+func run(cores, frames, pipeline int, backend, builtin string, workless, pin, autotune bool, tuneEpoch int64, tuneEpochWall time.Duration, traceOut, report, inject, httpAddr string, watchEvery time.Duration) error {
 	cfg := hinch.Config{Cores: cores, PipelineDepth: pipeline, Workless: workless, PinWorkers: pin,
-		Autotune: autotune, TuneEpochCycles: tuneEpoch, TuneEpochWall: tuneEpochWall}
+		Autotune: autotune, TuneEpochCycles: tuneEpoch, TuneEpochWall: tuneEpochWall,
+		Telemetry: httpAddr != "" || watchEvery > 0}
 	switch backend {
 	case "sim":
 		cfg.Backend = hinch.BackendSim
@@ -118,7 +142,9 @@ func run(cores, frames, pipeline int, backend, builtin string, workless, pin, au
 		return err
 	}
 	var rec *trace.Recorder
-	if traceOut != "" {
+	if traceOut != "" || httpAddr != "" {
+		// -http attaches the flight recorder too, so /debug/trace can
+		// dump the black-box tail of a live run.
 		rec = trace.New(0)
 		cfg.Tracer = rec
 	}
@@ -126,11 +152,28 @@ func run(cores, frames, pipeline int, backend, builtin string, workless, pin, au
 	if err != nil {
 		return err
 	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", ln.Addr())
+		go http.Serve(ln, obs.NewServer(app, rec).Handler())
+	}
+	var watchDone chan struct{}
+	if watchEvery > 0 {
+		watchDone = make(chan struct{})
+		go watchLoop(app, watchEvery, watchDone)
+	}
 	rep, err := app.Run(iters)
+	if watchDone != nil {
+		close(watchDone)
+	}
 	if err != nil {
 		return err
 	}
-	if rec != nil {
+	if rec != nil && traceOut != "" {
 		if err := rec.WriteFile(traceOut); err != nil {
 			return err
 		}
@@ -149,6 +192,26 @@ func run(cores, frames, pipeline int, backend, builtin string, workless, pin, au
 		return fmt.Errorf("unknown report format %q", report)
 	}
 	return nil
+}
+
+// watchLoop redraws the live dashboard on stderr until done closes,
+// finishing with one last frame so the final state stays on screen.
+func watchLoop(app *hinch.App, every time.Duration, done <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	draw := func() {
+		fmt.Fprint(os.Stderr, "\x1b[2J\x1b[H")
+		obs.RenderDashboard(os.Stderr, app.Snapshot())
+	}
+	for {
+		select {
+		case <-tick.C:
+			draw()
+		case <-done:
+			draw()
+			return
+		}
+	}
 }
 
 func fail(err error) {

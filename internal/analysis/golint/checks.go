@@ -12,7 +12,7 @@ import (
 // optionalFields are the struct fields that are nil in the common
 // configuration: every method call through them needs a nil guard.
 var optionalFields = map[string]bool{
-	"hooks": true, "tr": true, "faults": true, // engine fields
+	"hooks": true, "tr": true, "faults": true, "tm": true, // engine/sched fields
 	"Hooks": true, "Tracer": true, "Faults": true, // hinch.Config fields
 }
 

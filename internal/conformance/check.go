@@ -148,11 +148,11 @@ func Check(seed uint64, opt Options) error {
 	// Sim twice — once on the built program, once on the round-tripped
 	// one. The sim backend is deterministic, so the runs must agree on
 	// every observable, including event/reconfiguration order.
-	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace, false)
+	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace, false, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim: %w", seed, err)
 	}
-	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace, false)
+	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace, false, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: sim(round-tripped): %w", seed, err)
 	}
@@ -168,7 +168,7 @@ func Check(seed uint64, opt Options) error {
 		if opt.Perturb {
 			hooks = &perturb{seed: mix(seed, uint64(w))}
 		}
-		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace, false)
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace, false, false)
 		if err != nil {
 			return fmt.Errorf("seed %d: real/%dw: %w", seed, w, err)
 		}
@@ -187,7 +187,7 @@ func Check(seed uint64, opt Options) error {
 // before the observation is returned. With tune set, the autotuner runs
 // (resizing replica widths and stream depths mid-run); the observation
 // must be unaffected, which is exactly what CheckReplicated asserts.
-func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks, traced, tune bool) (obs *Observation, err error) {
+func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hooks hinch.TestHooks, traced, tune, observe bool) (obs *Observation, err error) {
 	defer func() {
 		// The runtime surfaces dependency violations as panics (e.g.
 		// Stream.slotFor on an unacquired iteration, or a nil-payload
@@ -209,6 +209,7 @@ func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hook
 		StreamCapacity: g.StreamCap,
 		Hooks:          hooks,
 		Autotune:       tune,
+		Telemetry:      observe,
 	}
 	if tune && backend == hinch.BackendReal {
 		// Tick fast so even short perturbed runs see live resizes.
@@ -223,7 +224,37 @@ func runOnce(g *Gen, prog *graph.Program, backend hinch.Backend, cores int, hook
 	if err != nil {
 		return nil, err
 	}
+	var snapStop chan struct{}
+	var snapDone chan int
+	if observe {
+		// Hammer App.Snapshot from a second goroutine for the whole
+		// run: the observed run's sink output must stay bit-identical
+		// to an unobserved one, and none of the lock-free reads may
+		// trip the race detector.
+		snapStop = make(chan struct{})
+		snapDone = make(chan int, 1)
+		go func() {
+			n := 0
+			for {
+				select {
+				case <-snapStop:
+					snapDone <- n
+					return
+				default:
+				}
+				s := app.Snapshot()
+				if s.Inflight < 0 || s.Retired < 0 {
+					panic(fmt.Sprintf("snapshot invariant: %+v", s))
+				}
+				n++
+			}
+		}()
+	}
 	rep, err := app.Run(g.Iters)
+	if observe {
+		close(snapStop)
+		<-snapDone
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -193,7 +193,7 @@ func TestOracleMatchesSim(t *testing.T) {
 			continue
 		}
 		checked++
-		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil, false, false)
+		obs, err := runOnce(g, g.Prog, hinch.BackendSim, 2, nil, false, false, false)
 		if err != nil {
 			t.Fatalf("seed %d: sim: %v", seed, err)
 		}
@@ -203,5 +203,40 @@ func TestOracleMatchesSim(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no event-free seeds in range")
+	}
+}
+
+// TestConformanceSnapshotSmoke pins that App.Snapshot is a pure
+// observer: hammering it from a second goroutine for the whole run
+// must leave the sim backend's observables bit-identical to an
+// unobserved run, and a perturbed 8-worker real run under observation
+// must still satisfy the sequential oracle. Run with -race this also
+// proves every snapshot read path is properly synchronised.
+func TestConformanceSnapshotSmoke(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plain, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, false, false, false)
+		if err != nil {
+			t.Fatalf("seed %d: sim: %v", seed, err)
+		}
+		observed, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, false, false, true)
+		if err != nil {
+			t.Fatalf("seed %d: sim observed: %v", seed, err)
+		}
+		if a, b := plain.canon(), observed.canon(); a != b {
+			t.Fatalf("seed %d: snapshot hammering changed the sim run:\n--- plain ---\n%s--- observed ---\n%s", seed, a, b)
+		}
+
+		hooks := &perturb{seed: mix(seed, 8)}
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, 8, hooks, false, false, true)
+		if err != nil {
+			t.Fatalf("seed %d: real observed: %v", seed, err)
+		}
+		if err := verify(g, real); err != nil {
+			t.Fatalf("seed %d: real observed: %v", seed, err)
+		}
 	}
 }

@@ -103,11 +103,11 @@ func CheckReplicated(seed uint64, opt Options) error {
 	// Sim with the autotuner engaged, twice (built and round-tripped
 	// program): deterministic, and the oracle must hold regardless of
 	// what the tuner resized.
-	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace, true)
+	sim, err := runOnce(g, g.Prog, hinch.BackendSim, 3, nil, opt.Trace, true, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: replicated sim: %w", seed, err)
 	}
-	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace, true)
+	sim2, err := runOnce(g, prog2, hinch.BackendSim, 3, nil, opt.Trace, true, false)
 	if err != nil {
 		return fmt.Errorf("seed %d: replicated sim(round-tripped): %w", seed, err)
 	}
@@ -123,7 +123,7 @@ func CheckReplicated(seed uint64, opt Options) error {
 		if opt.Perturb {
 			hooks = &perturb{seed: mix(seed, uint64(w), 0x5e)}
 		}
-		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace, true)
+		real, err := runOnce(g, g.Prog, hinch.BackendReal, w, hooks, opt.Trace, true, false)
 		if err != nil {
 			return fmt.Errorf("seed %d: replicated real/%dw: %w", seed, w, err)
 		}

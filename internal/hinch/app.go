@@ -129,6 +129,29 @@ type Config struct {
 	// MaxReplicaWidth caps every auto replica width. 0 means bounded
 	// only by PipelineDepth, Cores and the prediction model.
 	MaxReplicaWidth int
+
+	// Telemetry enables the live-metrics subsystem: per-stage service
+	// time, iteration latency, stream occupancy and scheduler histograms
+	// (see telemetry.go) plus the stalled-progress watchdog, all
+	// scrapeable mid-run through App.Snapshot and internal/obs. Off, the
+	// hot path pays one nil check per boundary, same as Tracer/Hooks.
+	Telemetry bool
+
+	// WatchdogEpochs is how many consecutive watchdog epochs may pass
+	// without an iteration retiring before the run is flagged stalled
+	// (Snapshot.Stalled, /healthz degraded, a TraceStall instant). The
+	// flag clears when progress resumes. Defaults to 3. Requires
+	// Telemetry.
+	WatchdogEpochs int
+
+	// WatchdogCycles is the watchdog epoch length on the sim backend, in
+	// virtual cycles; checks fire at virtual-time boundaries, so stall
+	// detection is deterministic. Defaults to 2000000.
+	WatchdogCycles int64
+
+	// WatchdogWall is the watchdog epoch length on the real backend.
+	// Defaults to 250ms.
+	WatchdogWall time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -159,6 +182,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TuneEpochWall <= 0 {
 		c.TuneEpochWall = 2 * time.Millisecond
+	}
+	if c.WatchdogEpochs <= 0 {
+		c.WatchdogEpochs = 3
+	}
+	if c.WatchdogCycles <= 0 {
+		c.WatchdogCycles = 2000000
+	}
+	if c.WatchdogWall <= 0 {
+		c.WatchdogWall = 250 * time.Millisecond
 	}
 	return c
 }

@@ -42,6 +42,12 @@ type iterState struct {
 	cancelled  atomic.Bool
 	acquired   atomic.Bool // stream buffers assigned (lazily, at first dispatch)
 
+	// launchTS is the telemetry clock at launch (virtual cycles on sim,
+	// wall ns on real); retire subtracts it to record the end-to-end
+	// iteration latency. Written at launch and read at retire, both
+	// engine-side (under mu on real, single goroutine on sim).
+	launchTS int64
+
 	// mgrOpts[m] is the option-state snapshot taken when manager m's
 	// entry ran for this iteration; the iteration's option tasks are
 	// enabled or skipped according to it. A reconfiguration may still
@@ -130,7 +136,10 @@ type engine struct {
 	bufActive int   // iterations currently holding stream buffers
 	bufParked []job // jobs waiting for stream buffers (backpressure)
 	bufSpare  []job // retired bufParked backing array, reused on refill
-	bufCap    int   // live stream-FIFO capacity; starts at StreamCapacity, tunable; guarded by mu
+	// bufCap is the live stream-FIFO capacity; starts at StreamCapacity,
+	// tunable. Written under mu (or by the sim goroutine); atomic so
+	// App.Snapshot can read it mid-run.
+	bufCap atomic.Int32
 
 	// widths[t] is task t's replica width: how many consecutive
 	// iterations of t may run concurrently. Width 1 (every task before
@@ -143,6 +152,8 @@ type engine struct {
 	widths []atomic.Int32
 
 	tu *tuner // feedback autotuner; nil unless Config.Autotune
+
+	tm *telemetry // live telemetry; nil unless Config.Telemetry
 
 	ready    readyQueue // sim backend: central job queue, oldest iteration first
 	perClass map[string]*ClassStats
@@ -248,7 +259,7 @@ func newEngine(a *App) *engine {
 	}
 	e.tr = a.cfg.Tracer
 	e.faults = a.cfg.Faults
-	e.bufCap = a.cfg.StreamCapacity
+	e.bufCap.Store(int32(a.cfg.StreamCapacity))
 	e.widths = make([]atomic.Int32, n)
 	for i := range e.widths {
 		e.widths[i].Store(1)
@@ -273,6 +284,12 @@ func newEngine(a *App) *engine {
 	}
 	if a.cfg.Autotune {
 		e.tu = newTuner(e)
+	}
+	if a.cfg.Telemetry {
+		e.tm = newTelemetry(e)
+		if e.ws != nil {
+			e.ws.tm = e.tm
+		}
 	}
 	for _, t := range a.plan.Tasks {
 		if t.Role != graph.RoleComponent {
@@ -502,6 +519,10 @@ func (e *engine) launch(w *wsWorker) {
 		}
 		slot.Store(it)
 		e.nIters++
+		if e.tm != nil {
+			it.launchTS = e.tmNow()
+			e.tm.recordIterLaunch()
+		}
 		if e.tr != nil {
 			e.tr.Emit(traceShard(w), TraceEvent{
 				TS: e.traceTS(w), Kind: TraceIterLaunch,
@@ -664,7 +685,7 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 			if e.tr != nil {
 				e.tr.Emit(traceShard(w), TraceEvent{
 					TS: e.traceTS(w), Kind: TraceStreamRelease,
-					Worker: -1, Iter: int32(it.iter), ID: int32(s.idx), Arg: int64(s.nactive),
+					Worker: -1, Iter: int32(it.iter), ID: int32(s.idx), Arg: int64(s.nactive.Load()),
 				})
 			}
 		}
@@ -681,6 +702,9 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 	counted := !it.cancelled.Load()
 	if counted {
 		e.processed++
+	}
+	if e.tm != nil {
+		e.tm.recordIterRetire(e.tmNow()-it.launchTS, counted)
 	}
 	if e.tr != nil {
 		var arg int64
@@ -769,7 +793,7 @@ func (e *engine) needsBuffers(j job) bool {
 	if it == nil || it.acquired.Load() {
 		return false
 	}
-	if e.bufActive < e.bufCap {
+	if e.bufActive < int(e.bufCap.Load()) {
 		return false
 	}
 	if e.tu != nil {
@@ -805,10 +829,13 @@ func (e *engine) ensureBuffers(iter int) {
 			e.hooks.Yield(YieldAcquire)
 		}
 		s.acquire(iter)
+		if e.tm != nil {
+			e.tm.recordOcc(s.idx, int64(s.nactive.Load()))
+		}
 		if e.tr != nil {
 			e.tr.Emit(0, TraceEvent{
 				TS: ts, Kind: TraceStreamAcquire,
-				Worker: -1, Iter: int32(iter), ID: int32(s.idx), Arg: int64(s.nactive),
+				Worker: -1, Iter: int32(iter), ID: int32(s.idx), Arg: int64(s.nactive.Load()),
 			})
 		}
 	}
@@ -1076,6 +1103,7 @@ func (e *engine) applyReconfig(name string, st *mgrState, w *wsWorker) (*reconfi
 		e.app.cfg.CreateOpsPerComponent*int64(created)
 	e.stall += stall
 	e.reconfigs++
+	e.app.metrics.reconfigs.Add(1)
 	if e.tr != nil {
 		e.tr.Emit(traceShard(w), TraceEvent{
 			TS: e.traceTS(w), Kind: TraceReconfigApply,
@@ -1307,6 +1335,18 @@ func (e *engine) report() *Report {
 	if e.tu != nil {
 		r.Tune = e.tu.stats
 		r.TuneLog = append([]TuneDecision(nil), e.tu.log...)
+	}
+	if e.tm != nil {
+		r.Stalls = e.tm.stalls.Load()
+		il := stageLat("iteration", e.tm.retiredAll.Load(), e.tm.iterLat.snap())
+		r.IterLat = &il
+		for _, t := range e.app.plan.Tasks {
+			h := e.tm.stageHist(t.ID)
+			if h.Count == 0 {
+				continue
+			}
+			r.Stages = append(r.Stages, stageLat(t.Name, e.tm.stageJobs(h.Count), h))
+		}
 	}
 	return r
 }

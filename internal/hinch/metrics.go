@@ -86,6 +86,37 @@ type Report struct {
 	// order. On the sim backend it is deterministic for a fixed program
 	// and config. Excluded from the JSON report.
 	TuneLog []TuneDecision
+	// Stages holds per-stage service-time distributions
+	// (Config.Telemetry): virtual cycles on the sim backend (every job
+	// recorded, deterministic), sampled wall ns on real.
+	Stages []StageLat
+	// IterLat is the end-to-end iteration latency distribution, source
+	// launch to sink retire (Config.Telemetry); nil without telemetry.
+	IterLat *StageLat
+	// Stalls counts stalled-progress watchdog trips (Config.Telemetry).
+	Stalls int64
+}
+
+// StageLat is one stage's latency distribution summary, derived from
+// the telemetry histograms. Quantiles are deterministic bucket upper
+// bounds (see HistSnap.Quantile). Units follow the backend's telemetry
+// clock: virtual cycles on sim, wall nanoseconds on real.
+type StageLat struct {
+	Name string `json:"name"`
+	Jobs int64  `json:"jobs"` // exact on sim; sampled estimate on real
+	P50  int64  `json:"p50"`
+	P95  int64  `json:"p95"`
+	P99  int64  `json:"p99"`
+	Max  int64  `json:"max"`
+}
+
+// stageLat folds a merged histogram into a summary row.
+func stageLat(name string, jobs int64, h HistSnap) StageLat {
+	return StageLat{
+		Name: name, Jobs: jobs,
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		Max: h.Max,
+	}
 }
 
 // CyclesPerIteration returns the average virtual cost of one iteration.
@@ -127,6 +158,9 @@ func (r *Report) String() string {
 	if r.Faults > 0 || r.Retries > 0 || r.Degradations > 0 {
 		fmt.Fprintf(&b, " faults=%d retries=%d degradations=%d", r.Faults, r.Retries, r.Degradations)
 	}
+	if r.Stalls > 0 {
+		fmt.Fprintf(&b, " stalls=%d", r.Stalls)
+	}
 	if r.Sched != (SchedStats{}) {
 		fmt.Fprintf(&b, " steals=%d/%d global=%d parks=%d wakes=%d",
 			r.Sched.Steals, r.Sched.StealAttempts, r.Sched.GlobalPops, r.Sched.Parks, r.Sched.Wakes)
@@ -146,6 +180,14 @@ func (r *Report) String() string {
 	for _, c := range classes {
 		s := r.PerClass[c]
 		fmt.Fprintf(&b, "\n  %-14s jobs=%-6d ops=%-12d mem=%d", c, s.Jobs, s.Ops, s.MemCycles)
+	}
+	if r.IterLat != nil {
+		fmt.Fprintf(&b, "\n  lat %-14s n=%-6d p50=%-8d p95=%-8d p99=%-8d max=%d",
+			r.IterLat.Name, r.IterLat.Jobs, r.IterLat.P50, r.IterLat.P95, r.IterLat.P99, r.IterLat.Max)
+	}
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "\n  lat %-14s n=%-6d p50=%-8d p95=%-8d p99=%-8d max=%d",
+			s.Name, s.Jobs, s.P50, s.P95, s.P99, s.Max)
 	}
 	return b.String()
 }
@@ -181,6 +223,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Cache              cacheJSON             `json:"cache"`
 		CoreBusy           []int64               `json:"core_busy,omitempty"`
 		PerClass           map[string]ClassStats `json:"per_class"`
+		Stages             []StageLat            `json:"stages,omitempty"`
+		IterLat            *StageLat             `json:"iter_latency,omitempty"`
+		Stalls             int64                 `json:"stalls,omitempty"`
 	}
 	return json.Marshal(reportJSON{
 		Iterations:         r.Iterations,
@@ -208,6 +253,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		},
 		CoreBusy: r.CoreBusy,
 		PerClass: r.PerClass,
+		Stages:   r.Stages,
+		IterLat:  r.IterLat,
+		Stalls:   r.Stalls,
 	})
 }
 
@@ -217,4 +265,7 @@ type metrics struct {
 	jobs          atomic.Int64
 	eventsEmitted atomic.Int64
 	degradations  atomic.Int64
+	// reconfigs mirrors engine.reconfigs (guarded by mu) so App.Snapshot
+	// can read it lock-free mid-run.
+	reconfigs atomic.Int64
 }

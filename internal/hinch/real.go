@@ -64,6 +64,28 @@ func (e *engine) runReal() (*Report, error) {
 		}()
 	}
 
+	// The stalled-progress watchdog samples retirement progress on its
+	// own wall-clock ticker, under the engine lock like the tuner's.
+	var wdStop, wdDone chan struct{}
+	if e.tm != nil {
+		wdStop, wdDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(wdDone)
+			tick := time.NewTicker(e.tm.wdWall)
+			defer tick.Stop()
+			for {
+				select {
+				case <-wdStop:
+					return
+				case <-tick.C:
+					e.mu.Lock()
+					e.watchdogEpoch()
+					e.mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	if e.ws.eager {
 		for _, w := range e.ws.workers {
 			spawn(w)
@@ -79,6 +101,11 @@ func (e *engine) runReal() (*Report, error) {
 		// Stopped before the tracer ends: tuneEpoch emits trace events.
 		close(tuStop)
 		<-tuDone
+	}
+	if e.tm != nil {
+		// Same ordering: watchdogEpoch can emit a TraceStall.
+		close(wdStop)
+		<-wdDone
 	}
 
 	// Fold the per-worker metric shards into the engine totals. All
@@ -309,13 +336,41 @@ func (e *engine) execReal(w *wsWorker, j job) {
 	if e.tu != nil {
 		tuStart = time.Now()
 	}
+	// Stride-sampled service timing: 1 in 2^tmSampleShift of this
+	// worker's component jobs pays two clock reads; the tick counter is
+	// worker-local, so sampling is uncontended. When the tuner already
+	// timed the job, its clock reads are reused.
+	sample := false
+	var tmStart time.Time
+	if e.tm != nil {
+		e.tm.recordJob(w.id + 1)
+		w.tmTick++
+		if w.tmTick&tmSampleMask == 0 {
+			sample = true
+			if e.tu != nil {
+				tmStart = tuStart
+			} else {
+				tmStart = time.Now()
+			}
+		}
+	}
 	out := e.runPolicied(&w.rc, j, inst, false)
+	var svcDur int64
 	if e.tu != nil {
-		e.tu.busy[j.task.ID].Add(int64(time.Since(tuStart)))
+		svcDur = int64(time.Since(tuStart))
+		e.tu.busy[j.task.ID].Add(svcDur)
+	} else if sample {
+		svcDur = int64(time.Since(tmStart))
+	}
+	if sample && e.tm != nil {
+		e.tm.recordSvc(w.id+1, j.task.ID, svcDur)
 	}
 	if out.faults > 0 || out.retries > 0 {
 		w.stats[j.task.ID].Faults += out.faults
 		w.stats[j.task.ID].Retries += out.retries
+		if e.tm != nil {
+			e.tm.recordFaults(out.faults, out.retries)
+		}
 	}
 	if e.tr != nil {
 		e.traceSpan(w, j)

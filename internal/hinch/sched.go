@@ -152,6 +152,11 @@ type wsWorker struct {
 	// send, consumed by blockPark after the token receive.
 	woken bool
 
+	// tmTick strides the telemetry service-time sampling: worker-local,
+	// bumped once per component job, sampled when the low
+	// tmSampleShift bits are zero. Only advanced with telemetry on.
+	tmTick uint32
+
 	// Scheduler action counters, folded into Report.Sched at run end.
 	stealAttempts int64 // calls to sched.steal (local deque was empty)
 	steals        int64 // jobs taken from another worker's deque
@@ -242,6 +247,8 @@ type sched struct {
 	tr       Tracer       // flight recorder; nil in production
 	trStart  time.Time    // trace timestamps count from this instant
 	extWakes atomic.Int64 // wakes performed outside any worker context
+
+	tm *telemetry // live telemetry; nil unless Config.Telemetry
 }
 
 func newSched(cfg Config, nTasks int) *sched {
@@ -407,6 +414,9 @@ func (s *sched) signalWork() bool {
 //hinch:hotpath
 func (s *sched) steal(w *wsWorker) (job, bool) {
 	w.stealAttempts++
+	if s.tm != nil {
+		s.tm.recordStealTry()
+	}
 	n := len(s.workers)
 	start := 0
 	if !s.pinned && n > 1 {
@@ -436,6 +446,9 @@ func (s *sched) steal(w *wsWorker) (job, bool) {
 			continue
 		}
 		w.steals += int64(took)
+		if s.tm != nil {
+			s.tm.recordSteal(int64(took))
+		}
 		if took > 1 {
 			w.dq.pushN(w.stealBuf[1:took])
 			if s.signalWork() {
@@ -457,6 +470,9 @@ func (s *sched) steal(w *wsWorker) (job, bool) {
 	j, ok := s.global.steal()
 	if ok {
 		w.globalPops++
+		if s.tm != nil {
+			s.tm.recordGlobalPop()
+		}
 		if s.tr != nil {
 			w.lastTS = int64(time.Since(s.trStart))
 			s.tr.Emit(w.id+1, TraceEvent{
@@ -518,6 +534,10 @@ func (s *sched) park(w *wsWorker) {
 // gap out of the next job's span.
 func (s *sched) blockPark(w *wsWorker) {
 	w.parks++
+	var t0 time.Time
+	if s.tm != nil {
+		t0 = time.Now()
+	}
 	if s.tr != nil {
 		s.tr.Emit(w.id+1, TraceEvent{
 			TS: int64(time.Since(s.trStart)), Kind: TracePark,
@@ -525,6 +545,9 @@ func (s *sched) blockPark(w *wsWorker) {
 		})
 	}
 	<-w.park
+	if s.tm != nil {
+		s.tm.recordPark(int64(time.Since(t0)))
+	}
 	if w.woken {
 		w.woken = false
 		s.wakePending.Add(-1)

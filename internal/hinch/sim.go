@@ -101,6 +101,15 @@ func (e *engine) runSim() (*Report, error) {
 				e.tu.nextAt += e.tu.epoch
 			}
 		}
+		if e.tm != nil {
+			// Watchdog epochs at virtual boundaries, like the tuner's:
+			// a big clock jump (e.g. an injected delay) replays each
+			// missed epoch so stall detection stays deterministic.
+			for clock >= e.tm.wdNextAt {
+				e.watchdogEpoch()
+				e.tm.wdNextAt += e.tm.wdEpoch
+			}
+		}
 		if c.core < 0 {
 			// A reconfiguration stall elapsed: the manager's subgraph
 			// resumes and the parked iterations may enter it.
@@ -168,6 +177,9 @@ func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 			return 0, false, err
 		}
 		cs.Ops += ops
+		if e.tm != nil {
+			e.tm.recordSvc(0, j.task.ID, cost+ops)
+		}
 		return cost + ops, true, nil
 
 	case graph.RoleComponent:
@@ -199,6 +211,12 @@ func (e *engine) execJobSim(j job, core int) (dur int64, ran bool, err error) {
 		dur = cost + rc.compute + mem + out.virtual
 		if e.tu != nil {
 			e.tu.busy[j.task.ID].Add(dur)
+		}
+		if e.tm != nil {
+			// Every sim job is recorded (virtual cycles are free to
+			// read), so the histograms are exact and deterministic.
+			e.tm.recordSvc(0, j.task.ID, dur)
+			e.tm.recordFaults(out.faults, out.retries)
 		}
 		// Cost-budget watchdog (sim): a successful job whose virtual
 		// cost overruns its deadline (1ns = 1 cycle) degrades exactly

@@ -38,8 +38,9 @@ type Stream struct {
 
 	// hw is the occupancy high-water mark: the most iterations that
 	// ever held this stream's buffers at once. Updated under the
-	// engine lock in acquire.
-	hw int
+	// engine lock in acquire; atomic so App.Snapshot can read it
+	// mid-run.
+	hw atomic.Int32
 
 	// active maps in-flight iterations to their buffers as a ring of
 	// atomic pointers indexed by iteration modulo len(active). The
@@ -48,8 +49,11 @@ type Stream struct {
 	// iteration for validation. The ring is larger than the FIFO
 	// capacity, so a live entry can never be overwritten by a
 	// neighbouring iteration.
-	active  []atomic.Pointer[streamSlot]
-	nactive int
+	active []atomic.Pointer[streamSlot]
+	// nactive counts iterations currently holding a buffer. Written
+	// only under the engine lock (acquire/release); atomic so
+	// App.Snapshot reads live occupancy lock-free.
+	nactive atomic.Int32
 	allocd  int
 
 	// wrapFree recycles streamSlot wrappers (engine-lock guarded, like
@@ -157,7 +161,7 @@ func (s *Stream) acquire(iter int) {
 	if p.Load() != nil {
 		panic(fmt.Sprintf("hinch: stream %s: iteration %d acquired twice", s.name, iter))
 	}
-	if s.nactive >= s.depth {
+	if int(s.nactive.Load()) >= s.depth {
 		panic(fmt.Sprintf("hinch: stream %s: more than %d iterations in flight", s.name, s.depth))
 	}
 	var sl *slot
@@ -167,9 +171,9 @@ func (s *Stream) acquire(iter int) {
 	} else {
 		sl = s.newSlot()
 	}
-	s.nactive++
-	if s.nactive > s.hw {
-		s.hw = s.nactive
+	n := s.nactive.Add(1)
+	if n > s.hw.Load() {
+		s.hw.Store(n)
 	}
 	var w *streamSlot
 	if n := len(s.wrapFree); n > 0 {
@@ -193,7 +197,7 @@ func (s *Stream) release(iter int) {
 		panic(fmt.Sprintf("hinch: stream %s: release of unknown iteration %d", s.name, iter))
 	}
 	p.Store(nil)
-	s.nactive--
+	s.nactive.Add(-1)
 	s.pool = append(s.pool, e.sl)
 	s.wrapFree = append(s.wrapFree, e)
 }
@@ -238,7 +242,11 @@ func (s *Stream) BuffersAllocated() int { return s.allocd }
 
 // HighWater reports the occupancy high-water mark: the most iterations
 // that ever held this stream's buffers simultaneously.
-func (s *Stream) HighWater() int { return s.hw }
+func (s *Stream) HighWater() int { return int(s.hw.Load()) }
+
+// Occupancy reports how many iterations hold this stream's buffers
+// right now. Safe mid-run from any goroutine.
+func (s *Stream) Occupancy() int { return int(s.nactive.Load()) }
 
 // FramePlaneRegion returns the simulated region covering rows [r0, r1)
 // of the given plane within a frame stream slot region. The frame

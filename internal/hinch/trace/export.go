@@ -48,6 +48,55 @@ func (r *Recorder) WriteFile(path string) error {
 	return f.Close()
 }
 
+// exportRec is one merged-stream entry: an event plus its merge key
+// (timestamp, shard, emission order), so equal-timestamp events from
+// different shards still serialise deterministically.
+type exportRec struct {
+	ev    hinch.TraceEvent
+	shard int
+	seq   int
+}
+
+// collect merges all shards into one totally-ordered stream. When last
+// is positive only the newest last events survive the merge (the tail
+// of the flight recorder).
+func (r *Recorder) collect(last int) []exportRec {
+	var all []exportRec
+	for si := 0; si < len(r.shards); si++ {
+		for i, ev := range r.Events(si) {
+			all = append(all, exportRec{ev: ev, shard: si, seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.TS != b.ev.TS {
+			return a.ev.TS < b.ev.TS
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.seq < b.seq
+	})
+	if last > 0 && len(all) > last {
+		all = all[len(all)-last:]
+	}
+	return all
+}
+
+// Tail returns the newest last events across all shards in the merged
+// total order (all of them when last <= 0). Reading a live Recorder
+// mid-run is best-effort: workers keep writing while the rings are
+// copied, so an event at a ring's write edge may be torn — acceptable
+// for a black-box dump, never use it for invariant checks.
+func (r *Recorder) Tail(last int) []hinch.TraceEvent {
+	recs := r.collect(last)
+	out := make([]hinch.TraceEvent, len(recs))
+	for i, rc := range recs {
+		out[i] = rc.ev
+	}
+	return out
+}
+
 // WritePerfetto writes the trace as Chrome trace-event JSON. One track
 // (tid) per core/worker plus a "runtime" track for engine-level events;
 // job executions are complete slices, stream occupancy and event-queue
@@ -62,6 +111,24 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 	if !r.began {
 		return fmt.Errorf("trace: recorder was never attached to a run")
 	}
+	return r.export(w, r.collect(0))
+}
+
+// WritePerfettoTail exports only the newest last merged events — the
+// flight-recorder tail behind /debug/trace. Safe to call mid-run under
+// the best-effort caveat documented on Tail; the export itself is the
+// same Perfetto JSON as WritePerfetto and stays structurally valid
+// (metadata present, flow arrows matched) even when the cut or the
+// dump instant strands half of a pairing.
+func (r *Recorder) WritePerfettoTail(w io.Writer, last int) error {
+	if !r.began {
+		return fmt.Errorf("trace: recorder was never attached to a run")
+	}
+	return r.export(w, r.collect(last))
+}
+
+// export renders a merged record stream as Chrome trace-event JSON.
+func (r *Recorder) export(w io.Writer, all []exportRec) error {
 	meta := r.meta
 	runtimeTID := meta.Cores
 	us := func(ts int64) float64 {
@@ -83,30 +150,23 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		return fmt.Sprintf("%s#%d", kind, id)
 	}
 
-	// Merge all shards into one totally-ordered stream. The order key is
-	// (timestamp, shard, emission order), so equal-timestamp events from
-	// different shards still serialise deterministically.
-	type rec struct {
-		ev    hinch.TraceEvent
-		shard int
-		seq   int
-	}
-	var all []rec
-	for si := 0; si < len(r.shards); si++ {
-		for i, ev := range r.Events(si) {
-			all = append(all, rec{ev: ev, shard: si, seq: i})
+	// A degrade event starts a flow arrow that finishes at the
+	// reconfiguration halt it triggers. In a tail dump the halt may lie
+	// beyond the recorded window (still pending at dump time), which
+	// would leave an unmatched flow start — precompute, for each
+	// record, whether a matching halt follows, and skip the arrow when
+	// none does.
+	haltFollows := make([]bool, len(all))
+	pendingHalts := map[int32]int{}
+	for i := len(all) - 1; i >= 0; i-- {
+		ev := all[i].ev
+		if ev.Kind == hinch.TraceDegrade {
+			haltFollows[i] = pendingHalts[ev.ID] > 0
+		}
+		if ev.Kind == hinch.TraceReconfigHalt {
+			pendingHalts[ev.ID]++
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.ev.TS != b.ev.TS {
-			return a.ev.TS < b.ev.TS
-		}
-		if a.shard != b.shard {
-			return a.shard < b.shard
-		}
-		return a.seq < b.seq
-	})
 
 	events := make([]chromeEvent, 0, len(all)+meta.Cores+2)
 	events = append(events, chromeEvent{
@@ -146,7 +206,7 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 	// starts a flow arrow that lands on the reconfiguration it causes.
 	degradeFlows := map[int32][]string{}
 
-	for _, rc := range all {
+	for ri, rc := range all {
 		ev := rc.ev
 		switch ev.Kind {
 		case hinch.TraceJobSpan:
@@ -229,6 +289,13 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 					"to":    ev.Arg & 0xffffffff,
 				},
 			})
+		case hinch.TraceStall:
+			// The telemetry watchdog saw Arg epochs without a retirement.
+			events = append(events, chromeEvent{
+				Name: "stall", Cat: "watchdog", Ph: "i",
+				TS: us(ev.TS), PID: 0, TID: runtimeTID, S: "p",
+				Args: map[string]any{"epochs": ev.Arg, "oldest_iter": ev.Iter},
+			})
 		case hinch.TraceGlobalPop:
 			events = append(events, chromeEvent{
 				Name: "global pop", Cat: "sched", Ph: "i",
@@ -259,20 +326,24 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 				Args: map[string]any{"iter": ev.Iter, "attempt": ev.Arg},
 			})
 		case hinch.TraceDegrade:
-			// Start a fault→reconfig flow arrow; it finishes at the halt
-			// this fault event triggers (dropped if the manager ignores
-			// it — e.g. the fallback is already active).
-			flowID++
-			id := fmt.Sprintf("fault-%d", flowID)
-			degradeFlows[ev.ID] = append(degradeFlows[ev.ID], id)
 			events = append(events, chromeEvent{
 				Name: "degrade " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault", Ph: "i",
 				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), S: "p",
 				Args: map[string]any{"iter": ev.Iter, "queue_depth": ev.Arg},
-			}, chromeEvent{
-				Name: "fault " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault", Ph: "s",
-				TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), ID: id,
 			})
+			// Start a fault→reconfig flow arrow; it finishes at the halt
+			// this fault event triggers. Skipped when no halt follows in
+			// the recorded window (the manager ignored the fault, or a
+			// tail dump cut before the halt happened).
+			if haltFollows[ri] {
+				flowID++
+				id := fmt.Sprintf("fault-%d", flowID)
+				degradeFlows[ev.ID] = append(degradeFlows[ev.ID], id)
+				events = append(events, chromeEvent{
+					Name: "fault " + nameOf(meta.Managers, ev.ID, "manager"), Cat: "fault", Ph: "s",
+					TS: us(ev.TS), PID: 0, TID: tid(ev.Worker), ID: id,
+				})
+			}
 		case hinch.TraceReconfigHalt:
 			reconfigs[ev.ID] = &reconfig{halt: us(ev.TS), seen: 1}
 			for _, id := range degradeFlows[ev.ID] {

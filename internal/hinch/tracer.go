@@ -96,6 +96,10 @@ const (
 	// replica width changed, or -1 for the stream-FIFO capacity; Iter =
 	// the tuning epoch; Arg packs the transition as from<<32|to.
 	TraceTune
+	// TraceStall: the telemetry watchdog saw Arg consecutive epochs
+	// without an iteration retiring. Iter = the oldest unretired
+	// iteration.
+	TraceStall
 )
 
 // String names the kind for exporters and diagnostics.
@@ -143,6 +147,8 @@ func (k TraceKind) String() string {
 		return "batch"
 	case TraceTune:
 		return "tune"
+	case TraceStall:
+		return "stall"
 	}
 	return "unknown"
 }

@@ -98,7 +98,23 @@ type tuner struct {
 
 	stats TuneStats
 	log   []TuneDecision
+
+	// pub is the tuner state App.Snapshot reads mid-run: stats plus the
+	// tail of the decision log, republished as a fresh immutable value
+	// at the end of every epoch that changed something. stats and log
+	// themselves are engine-side only (sim goroutine / under mu).
+	pub atomic.Pointer[TuneView]
 }
+
+// TuneView is a point-in-time copy of the autotuner's public state,
+// published for mid-run snapshots.
+type TuneView struct {
+	Stats TuneStats      `json:"stats"`
+	Tail  []TuneDecision `json:"tail"` // most recent decisions, oldest first
+}
+
+// tuneTailLen bounds the published decision-log tail.
+const tuneTailLen = 32
 
 // newTuner builds the tuner for an engine whose Config.Autotune is set.
 // Widths are capped statically at min(PipelineDepth, Cores[,
@@ -232,25 +248,41 @@ func (e *engine) tuneEpoch() {
 			tu.up[id], tu.down[id] = 0, 0
 		}
 	}
+	bufCap := int(e.bufCap.Load())
 	switch {
 	case tu.depthCool > 0:
 		tu.depthCool--
-	case tu.bufWaits > 0 && e.bufCap < e.app.cfg.PipelineDepth:
+	case tu.bufWaits > 0 && bufCap < e.app.cfg.PipelineDepth:
 		tu.depthCalm = 0
 		tu.depthCool = tuneCooldown
-		e.resizeDepth(epoch, e.bufCap, e.bufCap+1)
-	case tu.bufWaits == 0 && e.bufCap > 1 && tu.bufHW < e.bufCap:
+		e.resizeDepth(epoch, bufCap, bufCap+1)
+	case tu.bufWaits == 0 && bufCap > 1 && tu.bufHW < bufCap:
 		tu.depthCalm++
 		if tu.depthCalm >= tuneDepthCalm {
 			tu.depthCalm = 0
 			tu.depthCool = tuneCooldown
-			e.resizeDepth(epoch, e.bufCap, e.bufCap-1)
+			e.resizeDepth(epoch, bufCap, bufCap-1)
 		}
 	default:
 		tu.depthCalm = 0
 	}
 	tu.bufWaits = 0
 	tu.bufHW = 0
+	tu.publish()
+}
+
+// publish republishes the tuner's snapshot view. Engine-side (sim
+// goroutine or mu held), once per epoch — the copy is off the hot path.
+//
+//hinch:locked
+func (tu *tuner) publish() {
+	v := &TuneView{Stats: tu.stats}
+	tail := tu.log
+	if len(tail) > tuneTailLen {
+		tail = tail[len(tail)-tuneTailLen:]
+	}
+	v.Tail = append([]TuneDecision(nil), tail...)
+	tu.pub.Store(v)
 }
 
 // resizeWidth applies one width decision: record it, trace it, and
@@ -339,8 +371,8 @@ func (e *engine) setWidth(id, width int) {
 //
 //hinch:locked
 func (e *engine) setBufCap(c int) {
-	raise := c > e.bufCap
-	e.bufCap = c
+	raise := c > int(e.bufCap.Load())
+	e.bufCap.Store(int32(c))
 	if !raise || len(e.bufParked) == 0 {
 		return
 	}

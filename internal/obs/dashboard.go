@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xspcl/internal/hinch"
+)
+
+// maxDashStages caps the STAGE table: wide plans (sliced stages expand
+// to hundreds of tasks) would scroll any terminal, so the dashboard
+// keeps the busiest rows and counts the rest in a footer.
+const maxDashStages = 24
+
+// RenderDashboard writes the xspcltop terminal view of a snapshot: a
+// run header, one row per stage (replica width, job count, service-time
+// quantiles) and one row per stream with an occupancy bar. Values are
+// virtual cycles on the sim backend and nanoseconds on the real one
+// (snap.Units). Plain text, no ANSI — callers clear the screen.
+func RenderDashboard(w io.Writer, s hinch.Snapshot) {
+	health := "ok"
+	if s.Stalled {
+		health = "STALLED"
+	} else if s.Degradations > 0 {
+		health = "degraded"
+	}
+	fmt.Fprintf(w, "xspcl %s  cores=%d  health=%s  units=%s\n", s.Backend, s.Cores, health, s.Units)
+	fmt.Fprintf(w, "iterations launched=%d retired=%d inflight=%d  jobs=%d\n",
+		s.Launched, s.Retired, s.Inflight, s.Jobs)
+	if s.IterLat != nil && s.IterLat.Count > 0 {
+		fmt.Fprintf(w, "iter latency p50=%d p95=%d p99=%d max=%d\n",
+			s.IterLat.Quantile(0.50), s.IterLat.Quantile(0.95), s.IterLat.Quantile(0.99), s.IterLat.Max)
+	}
+	fmt.Fprintf(w, "faults=%d retries=%d degradations=%d reconfigs=%d  steals=%d parks=%d\n",
+		s.Faults, s.Retries, s.Degradations, s.Reconfigs, s.Steals, s.Parks)
+	if s.Tune != nil {
+		t := s.Tune.Stats
+		fmt.Fprintf(w, "tune epochs=%d widen=%d shrink=%d depth+%d depth-%d  stream_cap=%d\n",
+			t.Epochs, t.Widen, t.Shrink, t.DepthRaises, t.DepthDrops, s.StreamCap)
+		if n := len(s.Tune.Tail); n > 0 {
+			fmt.Fprintf(w, "last tune: %s\n", s.Tune.Tail[n-1])
+		}
+	}
+
+	if len(s.Stages) > 0 {
+		stages, hidden := topStages(s.Stages, maxDashStages)
+		fmt.Fprintf(w, "\n%-20s %3s %10s %10s %10s %10s\n", "STAGE", "WID", "JOBS", "P50", "P95", "MAX")
+		for _, st := range stages {
+			if st.Svc.Count == 0 && st.Jobs == 0 {
+				fmt.Fprintf(w, "%-20s %3d %10d %10s %10s %10s\n", clip(st.Name, 20), st.Width, st.Jobs, "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%-20s %3d %10d %10d %10d %10d\n",
+				clip(st.Name, 20), st.Width, st.Jobs,
+				st.Svc.Quantile(0.50), st.Svc.Quantile(0.95), st.Svc.Max)
+		}
+		if hidden > 0 {
+			fmt.Fprintf(w, "… (+%d more stages; /statusz has all of them)\n", hidden)
+		}
+	}
+	if len(s.Streams) > 0 {
+		streams, hidden := topStreams(s.Streams, maxDashStages)
+		fmt.Fprintf(w, "\n%-20s %7s %3s  %s\n", "STREAM", "OCC/DEP", "HW", "")
+		for _, sn := range streams {
+			fmt.Fprintf(w, "%-20s %3d/%-3d %3d  %s\n",
+				clip(sn.Name, 20), sn.Occupancy, sn.Depth, sn.HighWater, bar(sn.Occupancy, sn.Depth, 20))
+		}
+		if hidden > 0 {
+			fmt.Fprintf(w, "… (+%d more streams; /statusz has all of them)\n", hidden)
+		}
+	}
+}
+
+// topStages returns up to max stages, in plan order. When the plan is
+// wider than the table, the busiest stages (by cumulative service
+// time, then job count) are kept and the remainder is counted.
+func topStages(all []hinch.StageSnap, max int) ([]hinch.StageSnap, int) {
+	if len(all) <= max {
+		return all, 0
+	}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := all[order[a]], all[order[b]]
+		if sa.Svc.Sum != sb.Svc.Sum {
+			return sa.Svc.Sum > sb.Svc.Sum
+		}
+		return sa.Jobs > sb.Jobs
+	})
+	keep := order[:max]
+	sort.Ints(keep)
+	out := make([]hinch.StageSnap, 0, max)
+	for _, i := range keep {
+		out = append(out, all[i])
+	}
+	return out, len(all) - max
+}
+
+// topStreams is topStages for the STREAM table: the fullest streams
+// (by high-water mark, then live occupancy) are kept, in plan order.
+func topStreams(all []hinch.StreamSnap, max int) ([]hinch.StreamSnap, int) {
+	if len(all) <= max {
+		return all, 0
+	}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := all[order[a]], all[order[b]]
+		if sa.HighWater != sb.HighWater {
+			return sa.HighWater > sb.HighWater
+		}
+		return sa.Occupancy > sb.Occupancy
+	})
+	keep := order[:max]
+	sort.Ints(keep)
+	out := make([]hinch.StreamSnap, 0, max)
+	for _, i := range keep {
+		out = append(out, all[i])
+	}
+	return out, len(all) - max
+}
+
+// bar renders occupancy n of cap as a fixed-width meter.
+func bar(n, cap, width int) string {
+	if cap <= 0 {
+		cap = 1
+	}
+	fill := n * width / cap
+	if fill > width {
+		fill = width
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -13,8 +13,9 @@
 #     on the scheduler-bound workload), BenchmarkFaultFreeOverhead
 #     (fault-tolerance idle cost: default vs never-firing policies),
 #     BenchmarkReplicatedThroughput (replica-width scaling on a spin
-#     bottleneck) and BenchmarkAutotuneOverhead (tuner disabled vs.
-#     idle vs. active).
+#     bottleneck), BenchmarkAutotuneOverhead (tuner disabled vs.
+#     idle vs. active) and BenchmarkTelemetryOverhead (histogram
+#     shards off vs. on vs. concurrently scraped).
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
 #   - Analyzer benches (internal/analysis): xspclvet wall time on every
@@ -138,6 +139,10 @@ else
   run_bench ./ 'BenchmarkFig8SequentialOverhead|BenchmarkFig9Speedup|BenchmarkFig10Reconfiguration'
   run_bench ./ 'BenchmarkSchedulerThroughput' -cpu 1,4,8
   run_bench ./ 'BenchmarkTraceOverhead' -benchmem
+  # Telemetry idle/active cost: the scheduler-bound workload with the
+  # histogram shards off, on, and scraped by a concurrent Snapshot loop
+  # — tracked so the ops surface stays cheap enough to leave enabled.
+  run_bench ./ 'BenchmarkTelemetryOverhead' -benchmem
   run_bench ./internal/hinch/ 'BenchmarkSimSchedule|BenchmarkRealSchedule' -cpu 1,4,8 -benchmem
   # Fault-tolerance idle cost: the same scheduler-bound workload with the
   # machinery unused (nil injector / never-firing policies) — tracked so
