@@ -1,14 +1,15 @@
 // Command xspclvet is the whole-program static analyzer for XSPCL
 // specifications. It elaborates each input, enumerates every reachable
 // option configuration, and reports deadlock, buffer-sizing,
-// reconfiguration-safety and event-binding diagnoses (see
-// internal/analysis and DESIGN.md §9).
+// reconfiguration-safety, event-binding and stream-format diagnoses
+// (see internal/analysis, DESIGN.md §9 and §14).
 //
 //	xspclvet app.xml another.xml     analyze specification files
 //	xspclvet -builtin JPiP-45        analyze a built-in paper app
 //	xspclvet -all                    analyze every built-in app
 //	xspclvet -json app.xml           machine-readable report
 //	xspclvet -sizing app.xml         include the buffer-sizing table
+//	xspclvet -formats app.xml        print the solved stream-format table
 //	xspclvet -Wno-bindings app.xml   suppress one pass
 //	xspclvet -Werror app.xml         warnings fail the build too
 //
@@ -34,6 +35,7 @@ func main() {
 	all := flag.Bool("all", false, "analyze every built-in paper application")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	sizing := flag.Bool("sizing", false, "print the buffer-sizing table")
+	formats := flag.Bool("formats", false, "print the solved stream formats and inferred component parameters")
 	depth := flag.Int("depth", analysis.DefaultDepth, "FIFO depth assumed for streams without a declared depth")
 	overlap := flag.Int("overlap", analysis.DefaultOverlap, "iteration overlap the sizing pass preserves")
 	werror := flag.Bool("Werror", false, "treat warnings as errors")
@@ -76,6 +78,9 @@ func main() {
 			analysis.Render(os.Stdout, rep)
 			if *sizing {
 				analysis.RenderSizing(os.Stdout, rep)
+			}
+			if *formats {
+				analysis.RenderFormats(os.Stdout, rep)
 			}
 		}
 		if rep.Failed(*werror) {

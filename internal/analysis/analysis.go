@@ -70,10 +70,11 @@ const (
 	PassBindings    = "bindings"
 	PassFaults      = "faults"
 	PassReplication = "replication"
+	PassFormats     = "formats"
 )
 
 // Passes lists every analyzer pass in execution order.
-var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings, PassFaults, PassReplication}
+var Passes = []string{PassDeadlock, PassSizing, PassReconfig, PassBindings, PassFaults, PassReplication, PassFormats}
 
 // CapacityFix is the minimal FIFO-depth change that removes a capacity
 // deadlock.
@@ -109,6 +110,10 @@ type Report struct {
 	Configs  int            `json:"configs"` // reachable configurations analyzed
 	Findings []Finding      `json:"findings"`
 	Sizing   []StreamSizing `json:"sizing"`
+	// Formats is the solved format substitution of the initial
+	// configuration (nil when the program carries no format
+	// information).
+	Formats *FormatsReport `json:"formats,omitempty"`
 }
 
 // Count returns how many findings have exactly the given severity.
@@ -223,9 +228,28 @@ func Analyze(prog *graph.Program, opt Options) (*Report, error) {
 	if a.enabled(PassReplication) {
 		a.replication()
 	}
+	if a.enabled(PassFormats) {
+		a.formats()
+	}
 
+	// Deterministic diagnostic order: severity first (errors lead),
+	// then pass, configuration, stream and message — so -json output
+	// is byte-stable across runs and suitable for golden comparison.
 	sort.SliceStable(a.rep.Findings, func(i, j int) bool {
-		return a.rep.Findings[i].Severity > a.rep.Findings[j].Severity
+		fi, fj := a.rep.Findings[i], a.rep.Findings[j]
+		if fi.Severity != fj.Severity {
+			return fi.Severity > fj.Severity
+		}
+		if fi.Pass != fj.Pass {
+			return fi.Pass < fj.Pass
+		}
+		if fi.Config != fj.Config {
+			return fi.Config < fj.Config
+		}
+		if fi.Stream != fj.Stream {
+			return fi.Stream < fj.Stream
+		}
+		return fi.Message < fj.Message
 	})
 	return a.rep, nil
 }

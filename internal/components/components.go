@@ -30,14 +30,16 @@ func DefaultRegistry() *hinch.Registry {
 // Register adds all component classes to an existing registry.
 func Register(r *hinch.Registry) {
 	r.Register("videosrc", hinch.ClassSpec{
-		New: func() hinch.Component { return &VideoSource{} },
-		Out: []string{"out"},
-		Doc: "synthetic uncompressed video source (reads a simulated file)",
+		New:       func() hinch.Component { return &VideoSource{} },
+		Out:       []string{"out"},
+		Doc:       "synthetic uncompressed video source (reads a simulated file)",
+		Signature: "out: yuv420(W,H); where W=width, H=height",
 	})
 	r.Register("mjpegsrc", hinch.ClassSpec{
-		New: func() hinch.Component { return &MJPEGSource{} },
-		Out: []string{"out"},
-		Doc: "motion-JPEG source producing compressed packets",
+		New:       func() hinch.Component { return &MJPEGSource{} },
+		Out:       []string{"out"},
+		Doc:       "motion-JPEG source producing compressed packets",
+		Signature: "out: packet(W,H); where W=width, H=height",
 	})
 	r.Register("copyplane", hinch.ClassSpec{
 		New:       func() hinch.Component { return &CopyPlane{} },
@@ -45,6 +47,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "copies one color plane (sliceable)",
 		Stateless: true,
+		Signature: "in: F; out: F",
 	})
 	r.Register("downscale", hinch.ClassSpec{
 		New:       func() hinch.Component { return &Downscale{} },
@@ -52,6 +55,11 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "spatial box downscaler for one color plane (sliceable)",
 		Stateless: true,
+		// The generic signature: factor may be omitted in the spec and
+		// inferred from the surrounding stream geometry (the solver
+		// injects the solved K at Init), so one downscale class serves
+		// any context — the Joule-style contextualisation.
+		Signature: "in: L(W,H); out: L(W/K,H/K); where K=factor",
 	})
 	r.Register("blend", hinch.ClassSpec{
 		New:       func() hinch.Component { return &Blend{} },
@@ -59,6 +67,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "picture-in-picture blender for one color plane (sliceable, repositionable)",
 		Stateless: true,
+		Signature: "small: L(SW,SH); canvas: L(W,H); out: L(W,H)",
 	})
 	r.Register("jpegdecode", hinch.ClassSpec{
 		New:       func() hinch.Component { return &JPEGDecode{} },
@@ -66,6 +75,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "JPEG entropy decoder producing dequantised coefficient planes",
 		Stateless: true,
+		Signature: "in: packet(W,H); out: coeff(W,H); where W=width, H=height",
 	})
 	r.Register("idct", hinch.ClassSpec{
 		New:       func() hinch.Component { return &IDCT{} },
@@ -73,6 +83,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "inverse DCT for one color plane (sliceable by block rows)",
 		Stateless: true,
+		Signature: "in: coeff(W,H); out: yuv420(W,H)",
 	})
 	r.Register("blurh", hinch.ClassSpec{
 		New:       func() hinch.Component { return &Blur{horizontal: true} },
@@ -80,6 +91,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "horizontal Gaussian blur phase on luminance (sliceable)",
 		Stateless: true,
+		Signature: "in: F; out: F",
 	})
 	r.Register("blurv", hinch.ClassSpec{
 		New:       func() hinch.Component { return &Blur{horizontal: false} },
@@ -87,6 +99,7 @@ func Register(r *hinch.Registry) {
 		Out:       []string{"out"},
 		Doc:       "vertical Gaussian blur phase on luminance (sliceable, needs halo rows)",
 		Stateless: true,
+		Signature: "in: F; out: F",
 	})
 	r.Register("videosink", hinch.ClassSpec{
 		New: func() hinch.Component { return &VideoSink{} },

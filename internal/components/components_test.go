@@ -109,8 +109,10 @@ func TestVideoSourceLoopsWithoutEOS(t *testing.T) {
 }
 
 func TestVideoSourceMissingParams(t *testing.T) {
+	// On an untyped stream nothing grounds the source's geometry, so
+	// the missing width is still a hard Init error.
 	b := graph.NewBuilder("bad")
-	b.FrameStream("v", 32, 32)
+	b.Stream("v")
 	b.Body(
 		b.Component("src", "videosrc", graph.Ports{"out": "v"}, nil), // no width/height
 		b.Component("snk", "videosink", graph.Ports{"in": "v"}, nil),
@@ -118,6 +120,25 @@ func TestVideoSourceMissingParams(t *testing.T) {
 	_, err := hinch.NewApp(b.MustProgram(), DefaultRegistry(), hinch.Config{Backend: hinch.BackendSim})
 	if err == nil || !strings.Contains(err.Error(), "width") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVideoSourceParamsInferred(t *testing.T) {
+	// On a typed 32x32 frame stream the format solver grounds the
+	// source's where-bound width/height, so omitting them is fine.
+	b := graph.NewBuilder("inferred")
+	b.FrameStream("v", 32, 32)
+	b.Body(
+		b.Component("src", "videosrc", graph.Ports{"out": "v"}, graph.Params{"frames": "2", "eos": "0"}),
+		b.Component("snk", "videosink", graph.Ports{"in": "v"}, graph.Params{"collect": "1"}),
+	)
+	app := runProg(t, b.MustProgram(), 2, 1)
+	frames := app.Component("snk").(*VideoSink).Frames()
+	if len(frames) != 2 {
+		t.Fatalf("%d frames", len(frames))
+	}
+	if frames[0].W != 32 || frames[0].H != 32 {
+		t.Fatalf("inferred geometry %dx%d, want 32x32", frames[0].W, frames[0].H)
 	}
 }
 
@@ -301,16 +322,21 @@ func TestTriggerValidation(t *testing.T) {
 }
 
 func TestDownscaleFactorValidation(t *testing.T) {
+	// A missing factor is no longer an Init error when the stream
+	// geometry determines it (32x32 -> 16x16 infers K=2); an impossible
+	// geometry must still be rejected — now at format-reconciliation
+	// time, before any component runs.
 	b := graph.NewBuilder("bad")
 	b.FrameStream("a", 32, 32)
-	b.FrameStream("b2", 16, 16)
+	b.FrameStream("b2", 17, 16) // no integer factor scales 32 to 17
 	b.Body(
 		b.Component("src", "videosrc", graph.Ports{"out": "a"}, graph.Params{"width": "32", "height": "32", "frames": "4"}),
-		b.Component("ds", "downscale", graph.Ports{"in": "a", "out": "b2"}, nil), // missing factor
+		b.Component("ds", "downscale", graph.Ports{"in": "a", "out": "b2"}, nil),
 		b.Component("snk", "videosink", graph.Ports{"in": "b2"}, nil),
 	)
-	if _, err := hinch.NewApp(b.MustProgram(), DefaultRegistry(), hinch.Config{Backend: hinch.BackendSim}); err == nil {
-		t.Fatal("missing factor accepted")
+	_, err := hinch.NewApp(b.MustProgram(), DefaultRegistry(), hinch.Config{Backend: hinch.BackendSim})
+	if err == nil || !strings.Contains(err.Error(), "format mismatch") {
+		t.Fatalf("err = %v, want format mismatch", err)
 	}
 }
 

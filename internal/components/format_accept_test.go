@@ -1,0 +1,146 @@
+package components
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xspcl/internal/hinch"
+	"xspcl/internal/xspcl"
+)
+
+// genericDownscaleSpec builds the acceptance spec for typed-stream
+// reconciliation: one videosrc feeding two downscale instances of the
+// same generic class at different geometry ratios. With explicit=false
+// neither downscale declares a factor — the format solver must infer
+// K=2 and K=4 from the stream declarations and inject them at Init.
+func genericDownscaleSpec(explicit bool) string {
+	factor := func(k int) string {
+		if explicit {
+			return fmt.Sprintf(`<init name="factor" value="%d"/>`, k)
+		}
+		return ""
+	}
+	return fmt.Sprintf(`<xspcl name="generic-downscale">
+  <streams>
+    <stream name="vid" type="frame" width="96" height="96"/>
+    <stream name="half" type="frame" width="48" height="48"/>
+    <stream name="quarter" type="frame" width="24" height="24"/>
+  </streams>
+  <procedure name="main">
+    <body>
+      <component name="src" class="videosrc">
+        <stream port="out" name="vid"/>
+        <init name="frames" value="4"/>
+        <init name="seed" value="7"/>
+      </component>
+      <component name="ds2" class="downscale">
+        <stream port="in" name="vid"/>
+        <stream port="out" name="half"/>
+        %s
+      </component>
+      <component name="ds4" class="downscale">
+        <stream port="in" name="vid"/>
+        <stream port="out" name="quarter"/>
+        %s
+      </component>
+      <component name="snkh" class="videosink">
+        <stream port="in" name="half"/>
+      </component>
+      <component name="snkq" class="videosink">
+        <stream port="in" name="quarter"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>`, factor(2), factor(4))
+}
+
+// TestGenericDownscaleSpecialised is the tentpole acceptance check: a
+// single generic downscale class, used at x2 and x4 in one spec with no
+// factor parameters, must produce sink output bit-identical to the
+// explicitly parameterised wiring — on both backends.
+func TestGenericDownscaleSpecialised(t *testing.T) {
+	run := func(spec string, backend hinch.Backend, cores int) (half, quarter uint64) {
+		t.Helper()
+		prog, err := xspcl.Load(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := hinch.NewApp(prog, DefaultRegistry(), hinch.Config{Backend: backend, Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		return app.Component("snkh").(*VideoSink).Checksum(),
+			app.Component("snkq").(*VideoSink).Checksum()
+	}
+
+	explicit := genericDownscaleSpec(true)
+	generic := genericDownscaleSpec(false)
+
+	wantHalf, wantQuarter := run(explicit, hinch.BackendSim, 4)
+	for _, tc := range []struct {
+		name    string
+		backend hinch.Backend
+		cores   int
+	}{
+		{"sim", hinch.BackendSim, 4},
+		{"real", hinch.BackendReal, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gh, gq := run(generic, tc.backend, tc.cores)
+			eh, eq := run(explicit, tc.backend, tc.cores)
+			if eh != wantHalf || eq != wantQuarter {
+				t.Fatalf("explicit wiring not deterministic across backends: %x/%x vs %x/%x", eh, eq, wantHalf, wantQuarter)
+			}
+			if gh != wantHalf {
+				t.Errorf("half checksum %x (generic) != %x (explicit)", gh, wantHalf)
+			}
+			if gq != wantQuarter {
+				t.Errorf("quarter checksum %x (generic) != %x (explicit)", gq, wantQuarter)
+			}
+		})
+	}
+}
+
+// TestGenericDownscaleRejectsImpossible pins the load-time rejection:
+// wiring the generic downscale between geometries no integer factor
+// relates must fail NewApp with the narrative constraint chain.
+func TestGenericDownscaleRejectsImpossible(t *testing.T) {
+	spec := `<xspcl name="impossible">
+  <streams>
+    <stream name="vid" type="frame" width="96" height="96"/>
+    <stream name="odd" type="frame" width="70" height="70"/>
+  </streams>
+  <procedure name="main">
+    <body>
+      <component name="src" class="videosrc">
+        <stream port="out" name="vid"/>
+        <init name="frames" value="2"/>
+      </component>
+      <component name="ds" class="downscale">
+        <stream port="in" name="vid"/>
+        <stream port="out" name="odd"/>
+      </component>
+      <component name="snk" class="videosink">
+        <stream port="in" name="odd"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>`
+	prog, err := xspcl.Load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = hinch.NewApp(prog, DefaultRegistry(), hinch.Config{Backend: hinch.BackendSim})
+	if err == nil {
+		t.Fatal("impossible geometry accepted")
+	}
+	for _, want := range []string{"format mismatch", "no integer factor"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -27,6 +27,10 @@ const (
 	// BreakUnreachableOption adds a default-off option whose only
 	// binding disables it: no reachable configuration ever enables it.
 	BreakUnreachableOption
+	// BreakFormatMismatch bridges two streams with conflicting declared
+	// format terms through an identity-signature component: the format
+	// solver must find the collision.
+	BreakFormatMismatch
 
 	// NumBreakKinds counts the kinds (for iteration in tests).
 	NumBreakKinds
@@ -43,6 +47,8 @@ func (k BreakKind) String() string {
 		return "starved-reader"
 	case BreakUnreachableOption:
 		return "unreachable-option"
+	case BreakFormatMismatch:
+		return "format-mismatch"
 	}
 	return fmt.Sprintf("BreakKind(%d)", int(k))
 }
@@ -129,6 +135,21 @@ func GenerateBroken(seed uint64, kind BreakKind) (*Gen, error) {
 				}},
 			}}
 		root.Children = append(root.Children, mgr)
+
+	case BreakFormatMismatch:
+		// fmta and fmtb declare incompatible ground formats, bridged by
+		// cwork's identity signature (in: F; out: F): unification forces
+		// both streams to one format, which cannot hold. Structurally
+		// the program stays valid — each term parses and is ground; only
+		// the whole-network solve exposes the collision.
+		g.Prog.Streams = append(g.Prog.Streams,
+			graph.StreamDecl{Name: "fmta", Format: "yuv420(64,64)"},
+			graph.StreamDecl{Name: "fmtb", Format: "yuv420(32,64)"})
+		root.Children = append(root.Children,
+			comp("ffeed", graph.Ports{"in": spine, "out": "fmta"}),
+			comp("fbridge", graph.Ports{"in": "fmta", "out": "fmtb"}),
+			&graph.Node{Kind: graph.KindComponent, Name: "fmtsink", Class: "csink",
+				Ports: graph.Ports{"in": "fmtb"}})
 
 	default:
 		return nil, fmt.Errorf("conformance: unknown break kind %d", int(kind))

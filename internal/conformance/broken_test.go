@@ -17,6 +17,7 @@ func TestBrokenFlagged(t *testing.T) {
 		BreakCrossdepDepth:     analysis.PassDeadlock,
 		BreakStarvedReader:     analysis.PassDeadlock,
 		BreakUnreachableOption: analysis.PassReconfig,
+		BreakFormatMismatch:    analysis.PassFormats,
 	}
 	for kind := BreakKind(0); kind < NumBreakKinds; kind++ {
 		kind := kind

@@ -131,6 +131,12 @@ func Check(seed uint64, opt Options) error {
 	if errs := rep.ErrorsByPass(analysis.PassDeadlock); len(errs) > 0 {
 		return fmt.Errorf("seed %d: analyzer declared a generator-built (live-by-construction) program deadlocked: %s", seed, errs[0].Message)
 	}
+	// Same for formats: generated streams carry no declared formats and
+	// every conformance class's signature is satisfiable over free
+	// terms, so any formats verdict is a solver false positive.
+	if errs := rep.ErrorsByPass(analysis.PassFormats); len(errs) > 0 {
+		return fmt.Errorf("seed %d: formats pass flagged a format-free generated program: %s", seed, errs[0].Message)
+	}
 
 	// Round-trip: the emitted XML must parse back to the same tree.
 	xml, err := xspcl.EmitXML(g.Prog)

@@ -366,12 +366,15 @@ func Registry() *hinch.Registry {
 		// Run reads only Init-time config and the per-iteration payload,
 		// so concurrent iterations of one instance are race-free.
 		Stateless: true,
+		// Identity over the payload format: whatever flows in flows out.
+		Signature: "in: F; out: F",
 	})
 	r.Register("creconf", hinch.ClassSpec{
-		New: func() hinch.Component { return &creconf{} },
-		In:  []string{"in"},
-		Out: []string{"out"},
-		Doc: "cwork with a reconfiguration interface (requests counted, hash-neutral)",
+		New:       func() hinch.Component { return &creconf{} },
+		In:        []string{"in"},
+		Out:       []string{"out"},
+		Doc:       "cwork with a reconfiguration interface (requests counted, hash-neutral)",
+		Signature: "in: F; out: F",
 	})
 	r.Register("ccell", hinch.ClassSpec{
 		New: func() hinch.Component { return &ccell{} },
@@ -380,6 +383,7 @@ func Registry() *hinch.Registry {
 		Doc: "data-parallel member: writes cells[base+slice] from its lineage input",
 		// Writes only its own disjoint cell of the per-iteration payload.
 		Stateless: true,
+		Signature: "in: F; out: F",
 	})
 	r.Register("cjoin", hinch.ClassSpec{
 		New: func() hinch.Component { return &cjoin{} },
@@ -388,6 +392,8 @@ func Registry() *hinch.Registry {
 		Doc: "merges two source branches into one spine",
 		// Pure function of the two per-iteration payloads and the stamp.
 		Stateless: true,
+		// The spine format follows branch a; branch b is unconstrained.
+		Signature: "a: F; b: G; out: F",
 	})
 	r.Register("csink", hinch.ClassSpec{
 		New: func() hinch.Component { return &csink{} },

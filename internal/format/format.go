@@ -1,0 +1,425 @@
+// Package format implements typed stream formats for XSPCL: the term
+// language describing what flows through a stream (plane layout /
+// colorspace, width, height, chunking), parametric component interface
+// signatures over those terms, and a constraint solver that reconciles
+// them across a whole network by unification with arithmetic
+// propagation — the Joule/KPN interface-reconciliation model
+// (Zaichenkov et al., PAPERS.md; SNIPPETS.md §3) adapted to XSPCL's
+// stream graphs.
+//
+// # Term grammar
+//
+// A format term names a layout and up to three integer dimensions
+// (width, height, chunk rows):
+//
+//	term   := VAR                         whole-format variable ("F")
+//	        | layout                      layout only ("packet")
+//	        | layout '(' expr ',' expr [',' expr] ')'
+//	layout := ATOM | VAR                  "yuv420" or "L"
+//	expr   := prim { ('*'|'/') prim }     left-associative
+//	prim   := INT | VAR
+//
+// Identifiers follow the Prolog case convention: an uppercase first
+// letter makes a variable ("F", "W", "K"), a lowercase one an atom
+// ("yuv420", "gray", "packet"). A whole-format variable stands for all
+// four slots at once, so "in: F; out: F" is full format equality.
+//
+// The '/' operator carries the library's downscale-fit semantics: the
+// constraint A/K = C is satisfied by any C with
+// floor(A/K)-1 <= C <= floor(A/K) — the one-pixel slack an even-aligned
+// box downscaler needs (720/16 legitimately produces 44 rows, not 45).
+// When the solver must *produce* a value through '/', it binds the
+// canonical evenDown(floor(A/K)).
+//
+// # Signature grammar
+//
+// A component class signature relates its ports' formats:
+//
+//	sig      := portspec { ';' portspec } [ ';' 'where' bind { ',' bind } ]
+//	portspec := PORT ':' term
+//	bind     := VAR '=' PARAM
+//
+// Variables scope over the whole signature and are instantiated fresh
+// per component instance. A where-bind ties a signature variable to an
+// initialization parameter: when the parameter is supplied it grounds
+// the variable, and when it is omitted but the network grounds the
+// variable, the solved value is handed back so the runtime can
+// specialise the generic component (hinch.NewApp injects it into the
+// InitContext). Example:
+//
+//	in: L(W,H); out: L(W/K,H/K); where K=factor
+package format
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates expression nodes.
+type Kind int
+
+// Expression node kinds.
+const (
+	Atom   Kind = iota // lowercase identifier: a layout name
+	Int                // integer literal
+	Var                // uppercase identifier: a signature/term variable
+	OpExpr             // binary arithmetic: '*' or '/'
+)
+
+// Expr is one slot expression of a format term.
+type Expr struct {
+	Kind Kind
+	Name string // Atom and Var
+	N    int    // Int
+	Op   byte   // OpExpr: '*' or '/'
+	L, R *Expr  // OpExpr operands
+}
+
+// String renders the expression in the term grammar.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case Atom, Var:
+		return e.Name
+	case Int:
+		return strconv.Itoa(e.N)
+	case OpExpr:
+		return e.L.String() + string(e.Op) + e.R.String()
+	}
+	return "?"
+}
+
+// Ground reports whether the expression contains no variables.
+func (e *Expr) Ground() bool {
+	switch e.Kind {
+	case Atom, Int:
+		return true
+	case OpExpr:
+		return e.L.Ground() && e.R.Ground()
+	}
+	return false
+}
+
+// Slot indices of a format term.
+const (
+	SlotLayout = 0
+	SlotW      = 1
+	SlotH      = 2
+	SlotChunk  = 3
+	NSlots     = 4
+)
+
+// SlotNames names the slots for diagnostics.
+var SlotNames = [NSlots]string{"layout", "width", "height", "chunk"}
+
+// Term is one format term: either a whole-format variable or a set of
+// per-slot expressions (nil slots are unconstrained).
+type Term struct {
+	Var   string // non-empty: the whole term is one variable
+	Slots [NSlots]*Expr
+}
+
+// String renders the term in the term grammar.
+func (t *Term) String() string {
+	if t.Var != "" {
+		return t.Var
+	}
+	var b strings.Builder
+	if t.Slots[SlotLayout] != nil {
+		b.WriteString(t.Slots[SlotLayout].String())
+	}
+	if t.Slots[SlotW] != nil {
+		b.WriteByte('(')
+		b.WriteString(t.Slots[SlotW].String())
+		b.WriteByte(',')
+		b.WriteString(t.Slots[SlotH].String())
+		if t.Slots[SlotChunk] != nil {
+			b.WriteByte(',')
+			b.WriteString(t.Slots[SlotChunk].String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Ground reports whether the term contains no variables.
+func (t *Term) Ground() bool {
+	if t.Var != "" {
+		return false
+	}
+	for _, s := range t.Slots {
+		if s != nil && !s.Ground() {
+			return false
+		}
+	}
+	return true
+}
+
+// PortFormat is one port's format term in a signature.
+type PortFormat struct {
+	Port string
+	Term *Term
+}
+
+// Bind ties a signature variable to an initialization parameter.
+type Bind struct {
+	Var   string
+	Param string
+}
+
+// Signature is a parsed component interface signature.
+type Signature struct {
+	Ports []PortFormat
+	Binds []Bind
+	Src   string // original text, for diagnostics
+}
+
+// Port returns the format term of the named port, or nil.
+func (s *Signature) Port(name string) *Term {
+	for _, p := range s.Ports {
+		if p.Port == name {
+			return p.Term
+		}
+	}
+	return nil
+}
+
+// lexer is a minimal hand scanner over the term/signature grammar.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n') {
+		l.pos++
+	}
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (l *lexer) peek() byte {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// take consumes the next byte if it equals c.
+func (l *lexer) take(c byte) bool {
+	if l.peek() == c {
+		l.pos++
+		return true
+	}
+	return false
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || c >= '0' && c <= '9' }
+
+// ident consumes an identifier, or returns "".
+func (l *lexer) ident() string {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) || !isAlpha(l.src[l.pos]) {
+		return ""
+	}
+	for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+// number consumes an integer literal, or returns -1.
+func (l *lexer) number() int {
+	l.skipSpace()
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == start {
+		return -1
+	}
+	n, err := strconv.Atoi(l.src[start:l.pos])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+func isVarName(s string) bool { return s != "" && s[0] >= 'A' && s[0] <= 'Z' }
+
+// prim parses INT | VAR.
+func (l *lexer) prim() (*Expr, error) {
+	if c := l.peek(); c >= '0' && c <= '9' {
+		n := l.number()
+		if n < 0 {
+			return nil, fmt.Errorf("format: bad integer at %q", l.src[l.pos:])
+		}
+		return &Expr{Kind: Int, N: n}, nil
+	}
+	id := l.ident()
+	if id == "" {
+		return nil, fmt.Errorf("format: expected integer or variable at %q", l.src[l.pos:])
+	}
+	if !isVarName(id) {
+		return nil, fmt.Errorf("format: atom %q in numeric position (dimensions take integers and variables)", id)
+	}
+	return &Expr{Kind: Var, Name: id}, nil
+}
+
+// expr parses prim { ('*'|'/') prim }, left-associative.
+func (l *lexer) expr() (*Expr, error) {
+	e, err := l.prim()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := l.peek()
+		if c != '*' && c != '/' {
+			return e, nil
+		}
+		l.pos++
+		r, err := l.prim()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Kind: OpExpr, Op: c, L: e, R: r}
+	}
+}
+
+// term parses one format term.
+func (l *lexer) term() (*Term, error) {
+	id := l.ident()
+	if id == "" {
+		return nil, fmt.Errorf("format: expected a format term at %q", l.src[l.pos:])
+	}
+	t := &Term{}
+	if !l.take('(') {
+		// Bare identifier: whole-format variable or layout-only atom.
+		if isVarName(id) {
+			t.Var = id
+		} else {
+			t.Slots[SlotLayout] = &Expr{Kind: Atom, Name: id}
+		}
+		return t, nil
+	}
+	if isVarName(id) {
+		t.Slots[SlotLayout] = &Expr{Kind: Var, Name: id}
+	} else {
+		t.Slots[SlotLayout] = &Expr{Kind: Atom, Name: id}
+	}
+	w, err := l.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !l.take(',') {
+		return nil, fmt.Errorf("format: %s(...) needs width and height", id)
+	}
+	h, err := l.expr()
+	if err != nil {
+		return nil, err
+	}
+	t.Slots[SlotW], t.Slots[SlotH] = w, h
+	if l.take(',') {
+		c, err := l.expr()
+		if err != nil {
+			return nil, err
+		}
+		t.Slots[SlotChunk] = c
+	}
+	if !l.take(')') {
+		return nil, fmt.Errorf("format: unterminated %s(", id)
+	}
+	return t, nil
+}
+
+// ParseTerm parses one format term, e.g. "yuv420(720,576)", "packet",
+// "L(W,H/2)" or "F".
+func ParseTerm(src string) (*Term, error) {
+	l := &lexer{src: src}
+	t, err := l.term()
+	if err != nil {
+		return nil, err
+	}
+	if l.peek() != 0 {
+		return nil, fmt.Errorf("format: trailing input %q after term", src[l.pos:])
+	}
+	return t, nil
+}
+
+// ParseSignature parses a component interface signature, e.g.
+// "in: L(W,H); out: L(W/K,H/K); where K=factor".
+func ParseSignature(src string) (*Signature, error) {
+	sig := &Signature{Src: src}
+	l := &lexer{src: src}
+	seenPort := map[string]bool{}
+	for {
+		save := l.pos
+		id := l.ident()
+		if id == "" {
+			return nil, fmt.Errorf("format: expected a port name at %q", src[l.pos:])
+		}
+		if id == "where" {
+			l.pos = save
+			break
+		}
+		if isVarName(id) {
+			return nil, fmt.Errorf("format: port name %q must be lowercase", id)
+		}
+		if !l.take(':') {
+			return nil, fmt.Errorf("format: port %q needs ': term'", id)
+		}
+		t, err := l.term()
+		if err != nil {
+			return nil, err
+		}
+		if seenPort[id] {
+			return nil, fmt.Errorf("format: port %q given twice in signature", id)
+		}
+		seenPort[id] = true
+		sig.Ports = append(sig.Ports, PortFormat{Port: id, Term: t})
+		if !l.take(';') {
+			break
+		}
+		if l.peek() == 0 {
+			return nil, fmt.Errorf("format: trailing ';' in signature")
+		}
+	}
+	if id := l.ident(); id == "where" {
+		seenBind := map[string]bool{}
+		for {
+			v := l.ident()
+			if !isVarName(v) {
+				return nil, fmt.Errorf("format: where-bind needs an uppercase variable, got %q", v)
+			}
+			if !l.take('=') {
+				return nil, fmt.Errorf("format: where-bind %s needs '=param'", v)
+			}
+			p := l.ident()
+			if p == "" || isVarName(p) {
+				return nil, fmt.Errorf("format: where-bind %s needs a lowercase parameter name, got %q", v, p)
+			}
+			if seenBind[v] {
+				return nil, fmt.Errorf("format: variable %q bound twice in where clause", v)
+			}
+			seenBind[v] = true
+			sig.Binds = append(sig.Binds, Bind{Var: v, Param: p})
+			if !l.take(',') {
+				break
+			}
+		}
+	} else if id != "" {
+		return nil, fmt.Errorf("format: unexpected %q in signature", id)
+	}
+	if l.peek() != 0 {
+		return nil, fmt.Errorf("format: trailing input %q after signature", src[l.pos:])
+	}
+	if len(sig.Ports) == 0 {
+		return nil, fmt.Errorf("format: signature declares no ports")
+	}
+	return sig, nil
+}

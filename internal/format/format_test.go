@@ -1,0 +1,367 @@
+package format
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTerm(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // expected String(); "" means parse error expected
+	}{
+		{"yuv420(720,576)", "yuv420(720,576)"},
+		{"yuv420( 720 , 576 )", "yuv420(720,576)"},
+		{"yuv420(720,576,16)", "yuv420(720,576,16)"},
+		{"packet", "packet"},
+		{"F", "F"},
+		{"L(W,H)", "L(W,H)"},
+		{"L(W/K,H/K)", "L(W/K,H/K)"},
+		{"L(W/2*3,H)", "L(W/2*3,H)"},
+		{"yuv420(W,576)", "yuv420(W,576)"},
+		// Errors.
+		{"", ""},
+		{"yuv420(720)", ""},
+		{"yuv420(720,)", ""},
+		{"yuv420(720,576", ""},
+		{"yuv420(720,576) extra", ""},
+		{"yuv420(gray,576)", ""}, // atom in numeric position
+		{"yuv420(720,576,16,9)", ""},
+		{"(720,576)", ""},
+		{"yuv420(-1,576)", ""},
+		{"yuv420(720,576))", ""},
+	}
+	for _, tt := range tests {
+		got, err := ParseTerm(tt.src)
+		if tt.want == "" {
+			if err == nil {
+				t.Errorf("ParseTerm(%q) = %q, want error", tt.src, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", tt.src, err)
+			continue
+		}
+		if got.String() != tt.want {
+			t.Errorf("ParseTerm(%q).String() = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseTermGround(t *testing.T) {
+	for src, want := range map[string]bool{
+		"yuv420(720,576)": true,
+		"packet":          true,
+		"F":               false,
+		"L(W,H)":          false,
+		"yuv420(W,576)":   false,
+	} {
+		tm, err := ParseTerm(src)
+		if err != nil {
+			t.Fatalf("ParseTerm(%q): %v", src, err)
+		}
+		if tm.Ground() != want {
+			t.Errorf("ParseTerm(%q).Ground() = %v, want %v", src, tm.Ground(), want)
+		}
+	}
+}
+
+func TestParseSignature(t *testing.T) {
+	sig, err := ParseSignature("in: L(W,H); out: L(W/K,H/K); where K=factor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Ports) != 2 || sig.Ports[0].Port != "in" || sig.Ports[1].Port != "out" {
+		t.Fatalf("ports = %+v", sig.Ports)
+	}
+	if len(sig.Binds) != 1 || sig.Binds[0].Var != "K" || sig.Binds[0].Param != "factor" {
+		t.Fatalf("binds = %+v", sig.Binds)
+	}
+	if sig.Port("out").String() != "L(W/K,H/K)" {
+		t.Fatalf("out term = %s", sig.Port("out"))
+	}
+	if sig.Port("missing") != nil {
+		t.Fatal("Port(missing) should be nil")
+	}
+
+	bad := []string{
+		"",
+		"in L(W,H)",                  // missing colon
+		"in: L(W,H);",                // trailing semicolon
+		"in: L(W,H); in: F",          // duplicate port
+		"In: F",                      // uppercase port
+		"in: F; where k=factor",      // lowercase bind var
+		"in: F; where K=Factor",      // uppercase param
+		"in: F; where K=f, K=g",      // duplicate bind
+		"in: F; where K=factor junk", // trailing input
+		"where K=factor",             // no ports
+	}
+	for _, src := range bad {
+		if _, err := ParseSignature(src); err == nil {
+			t.Errorf("ParseSignature(%q) should fail", src)
+		}
+	}
+}
+
+// solveTerms is a test helper: a tiny network of one stream slot set
+// equated against declared values and component constraints.
+func TestSolveGroundConflict(t *testing.T) {
+	s := NewSystem()
+	w := s.NewVar("stream x.width")
+	s.Equate(s.V(w), IntX(720), `stream "x" declares width 720`, "x", "width")
+	s.Equate(s.V(w), IntX(704), `component "c" constrains in.width = 704`, "x", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	c := res.Conflicts[0]
+	if c.Stream != "x" || c.Slot != "width" {
+		t.Fatalf("conflict attribution = %+v", c)
+	}
+	if !strings.Contains(c.Detail, "720") || !strings.Contains(c.Detail, "704") {
+		t.Fatalf("detail = %q", c.Detail)
+	}
+	if len(c.Chain) != 2 {
+		t.Fatalf("chain = %q", c.Chain)
+	}
+}
+
+func TestSolveUnionPropagation(t *testing.T) {
+	s := NewSystem()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	c := s.NewVar("c")
+	s.Equate(s.V(a), s.V(b), "a=b", "", "")
+	s.Equate(s.V(b), s.V(c), "b=c", "", "")
+	s.Equate(s.V(c), AtomX("yuv420"), "c=yuv420", "", "")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	for _, v := range []int{a, b, c} {
+		if got, ok := res.Value(v); !ok || got != "yuv420" {
+			t.Fatalf("var %d = %q ok=%v", v, got, ok)
+		}
+	}
+}
+
+func TestSolveDownscaleChain(t *testing.T) {
+	// vid 720x576 --downscale(K=4)--> out: out dims bind canonically.
+	s := NewSystem()
+	w := s.NewVar("vid.width")
+	ow := s.NewVar("out.width")
+	k := s.NewVar("K")
+	s.Equate(s.V(w), IntX(720), "vid width 720", "vid", "width")
+	s.Equate(s.V(k), IntX(4), "factor 4", "", "")
+	s.Equate(s.V(ow), OpX('/', s.V(w), s.V(k)), "out.width = W/K", "out", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	if got, _ := res.Int(ow); got != 180 {
+		t.Fatalf("out.width = %d, want 180", got)
+	}
+}
+
+func TestSolveDownscaleFitWindow(t *testing.T) {
+	// JPiP geometry: 576/16 = 36 exactly, but 720/16 = 45 while the
+	// even-aligned downscaler produces 44. Declared 44 must be accepted
+	// and must win over the canonical forward value.
+	s := NewSystem()
+	h := s.NewVar("vid.height")
+	oh := s.NewVar("small.height")
+	s.Equate(s.V(h), IntX(720), "vid height 720", "vid", "height")
+	s.Equate(s.V(oh), IntX(44), "small height 44", "small", "height")
+	s.Equate(s.V(oh), OpX('/', s.V(h), IntX(16)), "small.height = H/16", "small", "height")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	if got, _ := res.Int(oh); got != 44 {
+		t.Fatalf("small.height = %d, want 44", got)
+	}
+
+	// 43 is outside the window [44, 45]: conflict.
+	s2 := NewSystem()
+	h2 := s2.NewVar("vid.height")
+	oh2 := s2.NewVar("small.height")
+	s2.Equate(s2.V(h2), IntX(720), "vid height 720", "vid", "height")
+	s2.Equate(s2.V(oh2), IntX(43), "small height 43", "small", "height")
+	s2.Equate(s2.V(oh2), OpX('/', s2.V(h2), IntX(16)), "small.height = H/16", "small", "height")
+	if res := s2.Solve(); len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+}
+
+func TestSolveDivisorInference(t *testing.T) {
+	// 720 -> 360: K must be 2 (unique divisor in the fit window).
+	s := NewSystem()
+	w := s.NewVar("vid.width")
+	ow := s.NewVar("half.width")
+	k := s.NewVar("K")
+	s.Equate(s.V(w), IntX(720), "vid width 720", "vid", "width")
+	s.Equate(s.V(ow), IntX(360), "half width 360", "half", "width")
+	s.Equate(s.V(ow), OpX('/', s.V(w), s.V(k)), "half.width = W/K", "half", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	if got, _ := res.Int(k); got != 2 {
+		t.Fatalf("K = %d, want 2", got)
+	}
+}
+
+func TestSolveDivisorInferenceImpossible(t *testing.T) {
+	// No integer factor scales 100 down to 90.
+	s := NewSystem()
+	w := s.NewVar("w")
+	ow := s.NewVar("ow")
+	k := s.NewVar("K")
+	s.Equate(s.V(w), IntX(100), "width 100", "a", "width")
+	s.Equate(s.V(ow), IntX(90), "width 90", "b", "width")
+	s.Equate(s.V(ow), OpX('/', s.V(w), s.V(k)), "b.width = W/K", "b", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	if !strings.Contains(res.Conflicts[0].Detail, "no integer factor") {
+		t.Fatalf("detail = %q", res.Conflicts[0].Detail)
+	}
+}
+
+func TestSolveMulInversion(t *testing.T) {
+	// x*3 = 12 binds x=4; x*5 = 12 conflicts (non-divisible).
+	s := NewSystem()
+	x := s.NewVar("x")
+	s.Equate(OpX('*', s.V(x), IntX(3)), IntX(12), "x*3=12", "", "")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	if got, _ := res.Int(x); got != 4 {
+		t.Fatalf("x = %d, want 4", got)
+	}
+
+	s2 := NewSystem()
+	y := s2.NewVar("y")
+	s2.Equate(OpX('*', s2.V(y), IntX(5)), IntX(12), "y*5=12", "", "")
+	if res := s2.Solve(); len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+}
+
+func TestSolveAtomInNumericPosition(t *testing.T) {
+	s := NewSystem()
+	w := s.NewVar("w")
+	s.Equate(s.V(w), AtomX("gray"), "w = gray", "x", "width")
+	s.Equate(OpX('/', s.V(w), IntX(2)), IntX(10), "w/2 = 10", "x", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	if !strings.Contains(res.Conflicts[0].Detail, "layout term") {
+		t.Fatalf("detail = %q", res.Conflicts[0].Detail)
+	}
+}
+
+func TestSolveDivisionByZero(t *testing.T) {
+	s := NewSystem()
+	w := s.NewVar("w")
+	s.Equate(s.V(w), IntX(720), "w=720", "", "")
+	s.Equate(OpX('/', s.V(w), IntX(0)), IntX(10), "w/0", "", "")
+	res := s.Solve()
+	if len(res.Conflicts) != 1 || !strings.Contains(res.Conflicts[0].Detail, "division by 0") {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+}
+
+func TestSolveChainTransitive(t *testing.T) {
+	// The conflict chain must include the declaration that grounded a
+	// *different* equivalence class feeding the colliding equation.
+	s := NewSystem()
+	w := s.NewVar("vid.width")
+	k := s.NewVar("K")
+	ow := s.NewVar("out.width")
+	s.Equate(s.V(w), IntX(720), `stream "vid" declares width 720`, "vid", "width")
+	s.Equate(s.V(k), IntX(4), `component "down" sets K = 4 (parameter factor)`, "", "")
+	s.Equate(s.V(ow), IntX(360), `stream "out" declares width 360`, "out", "width")
+	s.Equate(s.V(ow), OpX('/', s.V(w), s.V(k)), `component "down" constrains out.width = W/K`, "out", "width")
+	res := s.Solve()
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	chain := strings.Join(res.Conflicts[0].Chain, "\n")
+	for _, want := range []string{"declares width 720", "K = 4", "declares width 360", "out.width = W/K"} {
+		if !strings.Contains(chain, want) {
+			t.Errorf("chain missing %q:\n%s", want, chain)
+		}
+	}
+	// Construction order: declarations precede the colliding constraint.
+	if !strings.HasPrefix(res.Conflicts[0].Chain[0], `stream "vid"`) {
+		t.Errorf("chain[0] = %q, want the vid declaration first", res.Conflicts[0].Chain[0])
+	}
+}
+
+func TestSolveUnderConstrained(t *testing.T) {
+	s := NewSystem()
+	w := s.NewVar("w")
+	k := s.NewVar("K")
+	s.Equate(s.V(w), OpX('/', IntX(720), s.V(k)), "w = 720/K", "", "")
+	res := s.Solve()
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", res.Conflicts)
+	}
+	if _, ok := res.Int(w); ok {
+		t.Fatal("w should stay unresolved with K free")
+	}
+	if _, ok := res.Int(k); ok {
+		t.Fatal("K should stay unresolved")
+	}
+}
+
+func FuzzParseTerm(f *testing.F) {
+	for _, seed := range []string{
+		"yuv420(720,576)", "packet", "F", "L(W,H)", "L(W/K,H/K)",
+		"yuv420(720,576,16)", "x(", "a(1,", "(", "720", "L(W*2/3,H)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, err := ParseTerm(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip through String.
+		again, err := ParseTerm(tm.String())
+		if err != nil {
+			t.Fatalf("ParseTerm(%q) ok but reparse of %q failed: %v", src, tm.String(), err)
+		}
+		if again.String() != tm.String() {
+			t.Fatalf("round-trip drift: %q -> %q", tm.String(), again.String())
+		}
+	})
+}
+
+func FuzzParseSignature(f *testing.F) {
+	for _, seed := range []string{
+		"in: L(W,H); out: L(W/K,H/K); where K=factor",
+		"out: yuv420(W,H); where W=width, H=height",
+		"in: F; out: F",
+		"a: F; b: G; out: F",
+		"in: F; where",
+		"in:", ";", "where K=",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sig, err := ParseSignature(src)
+		if err != nil {
+			return
+		}
+		for _, p := range sig.Ports {
+			_ = p.Term.String()
+			_ = p.Term.Ground()
+		}
+	})
+}

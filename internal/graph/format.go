@@ -1,0 +1,391 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"xspcl/internal/format"
+)
+
+// InterfaceParam is the reserved initialization-parameter key carrying
+// a component's interface-signature override (the interface= attribute
+// in XSPCL). It replaces the class's registered signature for that one
+// component, using the same grammar (format.ParseSignature).
+const InterfaceParam = "@interface"
+
+// SignatureCatalog is the optional Catalog extension resolving class
+// interface signatures; the Hinch registry implements it. An empty
+// string means the class places no format constraints.
+type SignatureCatalog interface {
+	ClassSignature(class string) string
+}
+
+// NodeInterface returns the component's effective interface signature:
+// its interface= override when present, else the class signature from
+// the catalog (which may be nil). A nil signature means unconstrained.
+func NodeInterface(n *Node, cat Catalog) (*format.Signature, error) {
+	if src, ok := n.Params[InterfaceParam]; ok {
+		sig, err := format.ParseSignature(src)
+		if err != nil {
+			return nil, fmt.Errorf("graph: component %q: interface=%q: %w", n.Name, src, err)
+		}
+		for _, p := range sig.Ports {
+			if _, ok := n.Ports[p.Port]; !ok {
+				return nil, fmt.Errorf("graph: component %q: interface=%q names port %q which the component does not connect", n.Name, src, p.Port)
+			}
+		}
+		return sig, nil
+	}
+	sc, ok := cat.(SignatureCatalog)
+	if !ok {
+		return nil, nil
+	}
+	src := sc.ClassSignature(n.Class)
+	if src == "" {
+		return nil, nil
+	}
+	sig, err := format.ParseSignature(src)
+	if err != nil {
+		// Registries validate signatures at registration; reaching this
+		// means a hand-rolled catalog returned garbage.
+		return nil, fmt.Errorf("graph: class %q signature %q: %w", n.Class, src, err)
+	}
+	return sig, nil
+}
+
+// streamTerm derives the ground format information a stream declaration
+// carries: the element type fixes the layout (frame → yuv420, coeff →
+// coeff, packet → packet) and, for pre-allocated element kinds, the
+// dimensions; an explicit format= term adds or refines slots. The two
+// sources are returned as separate slot lists so conflicts between them
+// surface as solver conflicts with both reasons in the chain.
+type slotGround struct {
+	slot   int
+	val    *format.Expr
+	reason string
+}
+
+func streamGround(s StreamDecl) ([]slotGround, error) {
+	var out []slotGround
+	switch s.Type {
+	case "frame":
+		out = append(out, slotGround{format.SlotLayout, &format.Expr{Kind: format.Atom, Name: "yuv420"},
+			fmt.Sprintf("stream %q is typed frame (layout yuv420)", s.Name)})
+	case "coeff":
+		out = append(out, slotGround{format.SlotLayout, &format.Expr{Kind: format.Atom, Name: "coeff"},
+			fmt.Sprintf("stream %q is typed coeff", s.Name)})
+	case "packet":
+		out = append(out, slotGround{format.SlotLayout, &format.Expr{Kind: format.Atom, Name: "packet"},
+			fmt.Sprintf("stream %q is typed packet", s.Name)})
+	}
+	if s.Type == "frame" || s.Type == "coeff" {
+		if s.W > 0 {
+			out = append(out, slotGround{format.SlotW, &format.Expr{Kind: format.Int, N: s.W},
+				fmt.Sprintf("stream %q declares width %d", s.Name, s.W)})
+		}
+		if s.H > 0 {
+			out = append(out, slotGround{format.SlotH, &format.Expr{Kind: format.Int, N: s.H},
+				fmt.Sprintf("stream %q declares height %d", s.Name, s.H)})
+		}
+	}
+	if s.Format != "" {
+		t, err := format.ParseTerm(s.Format)
+		if err != nil {
+			return nil, fmt.Errorf("graph: stream %q: format=%q: %w", s.Name, s.Format, err)
+		}
+		if !t.Ground() {
+			return nil, fmt.Errorf("graph: stream %q: format=%q must be ground (variables belong in component interfaces)", s.Name, s.Format)
+		}
+		reason := fmt.Sprintf("stream %q declares format %s", s.Name, t)
+		for i, e := range t.Slots {
+			if e != nil {
+				out = append(out, slotGround{i, e, reason})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ValidateFormats checks the format-level attribute syntax without a
+// solver run: every stream format= term parses and is ground, and every
+// component interface= override parses and names connected ports. It is
+// part of Program.Validate.
+func (p *Program) validateFormats() error {
+	for _, s := range p.Streams {
+		if _, err := streamGround(s); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	Walk(p.Root, func(n *Node) {
+		if firstErr != nil || n.Kind != KindComponent {
+			return
+		}
+		if _, err := NodeInterface(n, nil); err != nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// FormatConflict is one unsatisfiable format constraint of a solve.
+type FormatConflict struct {
+	Stream string   `json:"stream,omitempty"`
+	Slot   string   `json:"slot,omitempty"`
+	Detail string   `json:"detail"`
+	Chain  []string `json:"chain,omitempty"`
+}
+
+// UnresolvedSlot flags an under-constrained slot of a typed stream.
+type UnresolvedSlot struct {
+	Stream string `json:"stream"`
+	Slot   string `json:"slot"`
+}
+
+// FormatSolution is the solved substitution of one configuration.
+type FormatSolution struct {
+	// Streams maps each stream with any resolved format information to
+	// its rendered term; unresolved slots render as '?'.
+	Streams map[string]string `json:"streams,omitempty"`
+	// Params holds the initialization parameters the solver inferred
+	// for components that omitted them but whose signature where-binds
+	// became ground: component node name → parameter → value. The
+	// runtime injects these at Init, specialising generic components.
+	Params map[string]map[string]string `json:"params,omitempty"`
+	// Conflicts lists unsatisfiable constraints (errors).
+	Conflicts []FormatConflict `json:"conflicts,omitempty"`
+	// Unresolved lists under-constrained slots of typed streams
+	// (warnings). Streams with no format information anywhere in their
+	// constraint class are not reported: an untyped program is legal.
+	Unresolved []UnresolvedSlot `json:"unresolved,omitempty"`
+}
+
+// SolveFormats builds and solves the format-constraint system of the
+// program under the given option states (nil means every option
+// enabled — the superplan view hinch.NewApp loads). Constraints come
+// from stream declarations (type/width/height and format=) and from the
+// effective interface signatures of every component reachable in the
+// configuration. The catalog supplies class signatures when it
+// implements SignatureCatalog; interface= overrides apply either way.
+func SolveFormats(p *Program, enabled map[string]bool, cat Catalog) (*FormatSolution, error) {
+	state := p.Options()
+	for name, on := range enabled {
+		state[name] = on
+	}
+	if enabled == nil {
+		for name := range state {
+			state[name] = true
+		}
+	}
+
+	sys := format.NewSystem()
+	streamVars := map[string][format.NSlots]int{}
+	for _, s := range p.Streams {
+		var vs [format.NSlots]int
+		for i := 0; i < format.NSlots; i++ {
+			vs[i] = sys.NewVar("stream " + s.Name + "." + format.SlotNames[i])
+		}
+		streamVars[s.Name] = vs
+		grounds, err := streamGround(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range grounds {
+			sys.Equate(sys.V(vs[g.slot]), instExpr(sys, g.val, nil, ""), g.reason, s.Name, format.SlotNames[g.slot])
+		}
+	}
+
+	// wants records where-bound signature variables whose parameter the
+	// component omitted: solved values become injected parameters.
+	var wants []inferredParam
+	var solveErr error
+	// active marks streams some reachable component connects: a stream
+	// whose every endpoint sits in a disabled option places and receives
+	// no constraints here, so it must not warn as under-constrained.
+	active := map[string]bool{}
+
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || solveErr != nil {
+			return
+		}
+		if n.Kind == KindOption && !state[n.Name] {
+			return
+		}
+		if n.Kind == KindComponent {
+			for _, stream := range n.Ports {
+				active[stream] = true
+			}
+			sig, err := NodeInterface(n, cat)
+			if err != nil {
+				solveErr = err
+				return
+			}
+			if sig != nil {
+				wants = append(wants, addComponentConstraints(sys, n, sig, streamVars, &solveErr)...)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if solveErr != nil {
+		return nil, solveErr
+	}
+
+	res := sys.Solve()
+	sol := &FormatSolution{
+		Streams: map[string]string{},
+		Params:  map[string]map[string]string{},
+	}
+	for _, c := range res.Conflicts {
+		sol.Conflicts = append(sol.Conflicts, FormatConflict{
+			Stream: c.Stream, Slot: c.Slot, Detail: c.Detail, Chain: c.Chain,
+		})
+	}
+	for _, s := range p.Streams {
+		vs := streamVars[s.Name]
+		var vals [format.NSlots]string
+		resolved := 0
+		for i := 0; i < format.NSlots; i++ {
+			if v, ok := res.Value(vs[i]); ok {
+				vals[i] = v
+				resolved++
+			} else {
+				vals[i] = "?"
+			}
+		}
+		typed := s.Type != "" || s.Format != "" ||
+			vals[format.SlotLayout] != "?" || vals[format.SlotW] != "?" || vals[format.SlotH] != "?"
+		if !typed {
+			continue
+		}
+		rendered := vals[format.SlotLayout] + "(" + vals[format.SlotW] + "," + vals[format.SlotH]
+		if vals[format.SlotChunk] != "?" {
+			rendered += "," + vals[format.SlotChunk]
+		}
+		rendered += ")"
+		sol.Streams[s.Name] = rendered
+		// Chunking is advisory; only the carrier slots warn, and only
+		// on streams some reachable component actually connects.
+		if !active[s.Name] {
+			continue
+		}
+		for _, i := range []int{format.SlotLayout, format.SlotW, format.SlotH} {
+			if vals[i] == "?" {
+				sol.Unresolved = append(sol.Unresolved, UnresolvedSlot{Stream: s.Name, Slot: format.SlotNames[i]})
+			}
+		}
+	}
+	for _, w := range wants {
+		if v, ok := res.Int(w.varID); ok {
+			m := sol.Params[w.comp]
+			if m == nil {
+				m = map[string]string{}
+				sol.Params[w.comp] = m
+			}
+			m[w.param] = strconv.Itoa(v)
+		}
+	}
+	sort.Slice(sol.Unresolved, func(i, j int) bool {
+		if sol.Unresolved[i].Stream != sol.Unresolved[j].Stream {
+			return sol.Unresolved[i].Stream < sol.Unresolved[j].Stream
+		}
+		return sol.Unresolved[i].Slot < sol.Unresolved[j].Slot
+	})
+	return sol, nil
+}
+
+// inferredParam is a where-bound signature variable whose parameter the
+// component omitted; if the solve grounds varID, the value is injected.
+type inferredParam struct {
+	comp, param string
+	varID       int
+}
+
+// addComponentConstraints instantiates one component's signature: fresh
+// solver variables per signature variable, slot equations against the
+// connected streams' slot variables, and where-bind equations against
+// supplied parameters. It returns the wants (see SolveFormats).
+func addComponentConstraints(sys *format.System, n *Node, sig *format.Signature, streamVars map[string][format.NSlots]int, solveErr *error) []inferredParam {
+	scope := map[string]int{}
+	alloc := func(name string) int {
+		if id, ok := scope[name]; ok {
+			return id
+		}
+		id := sys.NewVar(n.Name + "." + name)
+		scope[name] = id
+		return id
+	}
+	var wants []inferredParam
+	for _, b := range sig.Binds {
+		id := alloc(b.Var)
+		if raw, ok := n.Params[b.Param]; ok {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				*solveErr = fmt.Errorf("graph: component %q: parameter %s=%q is bound to interface variable %s but is not an integer", n.Name, b.Param, raw, b.Var)
+				return nil
+			}
+			sys.Equate(sys.V(id), format.IntX(v),
+				fmt.Sprintf("component %q sets %s = %d (parameter %s)", n.Name, b.Var, v, b.Param), "", "")
+		} else {
+			wants = append(wants, inferredParam{comp: n.Name, param: b.Param, varID: id})
+		}
+	}
+	for _, pf := range sig.Ports {
+		stream, ok := n.Ports[pf.Port]
+		if !ok {
+			// Class signatures may constrain a port the validator will
+			// separately report as unconnected; skip here.
+			continue
+		}
+		vs, ok := streamVars[stream]
+		if !ok {
+			continue
+		}
+		if pf.Term.Var != "" {
+			// Whole-format variable: equate all four slots with the
+			// variable's derived slot variables.
+			for i := 0; i < format.NSlots; i++ {
+				fv := alloc(pf.Term.Var + "." + format.SlotNames[i])
+				sys.Equate(sys.V(vs[i]), sys.V(fv),
+					fmt.Sprintf("component %q (class %s) constrains %s.%s = %s", n.Name, n.Class, pf.Port, format.SlotNames[i], pf.Term.Var),
+					stream, format.SlotNames[i])
+			}
+			continue
+		}
+		for i, e := range pf.Term.Slots {
+			if e == nil {
+				continue
+			}
+			sys.Equate(sys.V(vs[i]), instExpr(sys, e, scope, n.Name),
+				fmt.Sprintf("component %q (class %s) constrains %s.%s = %s", n.Name, n.Class, pf.Port, format.SlotNames[i], e),
+				stream, format.SlotNames[i])
+		}
+	}
+	return wants
+}
+
+// instExpr instantiates a term expression into solver form, allocating
+// scoped variables on first use. A nil scope admits only ground
+// expressions (stream declarations).
+func instExpr(sys *format.System, e *format.Expr, scope map[string]int, owner string) *format.X {
+	switch e.Kind {
+	case format.Atom:
+		return format.AtomX(e.Name)
+	case format.Int:
+		return format.IntX(e.N)
+	case format.Var:
+		if id, ok := scope[e.Name]; ok {
+			return sys.V(id)
+		}
+		id := sys.NewVar(owner + "." + e.Name)
+		scope[e.Name] = id
+		return sys.V(id)
+	case format.OpExpr:
+		return format.OpX(e.Op, instExpr(sys, e.L, scope, owner), instExpr(sys, e.R, scope, owner))
+	}
+	return format.IntX(0)
+}

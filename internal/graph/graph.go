@@ -207,6 +207,13 @@ type StreamDecl struct {
 	// under a global bound (Config.StreamCapacity), so Depth is advisory
 	// there.
 	Depth int
+
+	// Format is an optional declared format term for the elements
+	// flowing on this stream, in the internal/format term grammar
+	// (e.g. "yuv420(720,576)"). It must be ground; the formats
+	// analyzer pass reconciles it against component interface
+	// signatures.
+	Format string
 }
 
 // Program is an elaborated XSPCL application.
@@ -294,6 +301,9 @@ func (p *Program) String() string {
 		fmt.Fprintf(&b, "stream %s", s.Name)
 		if s.Depth != 0 {
 			fmt.Fprintf(&b, " depth=%d", s.Depth)
+		}
+		if s.Format != "" {
+			fmt.Fprintf(&b, " format=%s", s.Format)
 		}
 		b.WriteByte('\n')
 	}

@@ -33,6 +33,7 @@ type Task struct {
 
 	// Component tasks.
 	Class   string
+	Node    string // graph node name without slice suffix (keys per-node data, e.g. solved format params)
 	Params  map[string]string
 	Ports   map[string]string
 	Slice   int // slice index within the data-parallel group (0 if none)
@@ -317,6 +318,7 @@ func (b *planBuilder) addComponent(n *Node, sc sliceCtx) (*Task, error) {
 		Name:    name,
 		Role:    RoleComponent,
 		Class:   n.Class,
+		Node:    n.Name,
 		Params:  n.Params,
 		Ports:   n.Ports,
 		Slice:   sc.idx,

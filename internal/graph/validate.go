@@ -20,6 +20,8 @@ type Catalog interface {
 //     subtree and declared queues,
 //   - slice groups have exactly one parblock, replication counts are
 //     positive,
+//   - stream format= terms parse and are ground, and component
+//     interface= overrides parse and name only connected ports,
 //   - if catalog is non-nil: classes exist, every class port is
 //     connected exactly once, every declared stream has at least one
 //     writer and one reader, and components declaring replicate= name
@@ -150,6 +152,9 @@ func (p *Program) Validate(catalog Catalog) error {
 		return nil
 	}
 	if err := check(p.Root, false); err != nil {
+		return err
+	}
+	if err := p.validateFormats(); err != nil {
 		return err
 	}
 

@@ -226,6 +226,41 @@ func TestValidateErrors(t *testing.T) {
 			},
 			want: `stream "b" has no reader`,
 		},
+		{
+			name: "malformed stream format",
+			mutate: func(p *Program) {
+				p.Streams[0].Format = "yuv420(64"
+			},
+			want: `stream "a": format=`,
+		},
+		{
+			name: "non-ground stream format",
+			mutate: func(p *Program) {
+				p.Streams[0].Format = "yuv420(W,64)"
+			},
+			want: "must be ground",
+		},
+		{
+			name: "atom in format dimension",
+			mutate: func(p *Program) {
+				p.Streams[0].Format = "yuv420(64,gray)"
+			},
+			want: "numeric position",
+		},
+		{
+			name: "malformed interface override",
+			mutate: func(p *Program) {
+				p.Root.Children[0].Params = Params{InterfaceParam: "out L(W,H)"}
+			},
+			want: `component "s": interface=`,
+		},
+		{
+			name: "interface names unconnected port",
+			mutate: func(p *Program) {
+				p.Root.Children[0].Params = Params{InterfaceParam: "side: F"}
+			},
+			want: `names port "side" which the component does not connect`,
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

@@ -266,6 +266,12 @@ type App struct {
 	optionOwner map[string]string // option name -> innermost enclosing manager
 	plan        *graph.Plan       // the superplan (all options enabled)
 
+	// solvedParams holds format-solver-inferred initialization
+	// parameters, keyed by graph node name (slice copies share a node):
+	// the contextual specialisation of generic components
+	// (ClassSpec.Signature where-binds the spec omitted).
+	solvedParams map[string]map[string]string
+
 	addr *spacecake.AddressSpace // nil on the real backend
 	tile *spacecake.Tile         // nil on the real backend
 
@@ -281,15 +287,36 @@ func NewApp(prog *graph.Program, reg *Registry, cfg Config) (*App, error) {
 	if err := prog.Validate(reg); err != nil {
 		return nil, err
 	}
+	// Reconcile stream formats against the component interface
+	// signatures over the superplan view (all options enabled): an
+	// unsolvable wiring is rejected at load time, and solved where-bind
+	// parameters specialise generic components at Init.
+	formats, err := graph.SolveFormats(prog, nil, reg)
+	if err != nil {
+		return nil, fmt.Errorf("hinch: %w", err)
+	}
+	if len(formats.Conflicts) > 0 {
+		c := formats.Conflicts[0]
+		msg := fmt.Sprintf("hinch: format mismatch")
+		if c.Stream != "" {
+			msg = fmt.Sprintf("hinch: format mismatch on stream %q", c.Stream)
+		}
+		msg += ": " + c.Detail
+		for _, line := range c.Chain {
+			msg += "\n\t" + line
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
 	a := &App{
-		prog:        prog,
-		reg:         reg,
-		cfg:         cfg,
-		streams:     map[string]*Stream{},
-		queues:      map[string]*EventQueue{},
-		managers:    map[string]*graph.Node{},
-		options:     prog.Options(),
-		optionOwner: optionOwners(prog),
+		prog:         prog,
+		reg:          reg,
+		cfg:          cfg,
+		streams:      map[string]*Stream{},
+		queues:       map[string]*EventQueue{},
+		managers:     map[string]*graph.Node{},
+		options:      prog.Options(),
+		optionOwner:  optionOwners(prog),
+		solvedParams: formats.Params,
 	}
 	initial := map[string]*instance{}
 	a.instances.Store(&initial)
@@ -478,6 +505,7 @@ func (a *App) newInstance(t *graph.Task) (*instance, error) {
 	ic := &InitContext{
 		name:    t.Name,
 		params:  t.Params,
+		solved:  a.solvedParams[t.Node],
 		slice:   t.Slice,
 		nslices: t.NSlices,
 		app:     a,

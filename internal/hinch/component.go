@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"xspcl/internal/format"
 	"xspcl/internal/graph"
 	"xspcl/internal/spacecake"
 )
@@ -71,6 +72,15 @@ type ClassSpec struct {
 	// several iterations concurrently. Only stateless classes accept
 	// the replicate= attribute; validation rejects it elsewhere.
 	Stateless bool
+	// Signature is the class's parametric interface signature over
+	// stream format terms, in the internal/format grammar (e.g.
+	// "in: L(W,H); out: L(W/K,H/K); where K=factor"). Empty means the
+	// class places no format constraints. The formats analyzer pass and
+	// hinch.NewApp solve all signatures of an application against its
+	// stream declarations; where-bound parameters the spec omits are
+	// injected with their solved values at Init, specialising generic
+	// components per context.
+	Signature string
 }
 
 // Registry maps class names to component implementations. It
@@ -91,6 +101,24 @@ func (r *Registry) Register(class string, spec ClassSpec) {
 	}
 	if _, dup := r.classes[class]; dup {
 		panic(fmt.Sprintf("hinch: class %q registered twice", class))
+	}
+	if spec.Signature != "" {
+		sig, err := format.ParseSignature(spec.Signature)
+		if err != nil {
+			panic(fmt.Sprintf("hinch: class %q: %v", class, err))
+		}
+		ports := map[string]bool{}
+		for _, p := range spec.In {
+			ports[p] = true
+		}
+		for _, p := range spec.Out {
+			ports[p] = true
+		}
+		for _, pf := range sig.Ports {
+			if !ports[pf.Port] {
+				panic(fmt.Sprintf("hinch: class %q: signature names port %q the class does not declare", class, pf.Port))
+			}
+		}
 	}
 	r.classes[class] = spec
 }
@@ -129,14 +157,33 @@ func (r *Registry) ClassStateless(class string) bool {
 	return r.classes[class].Stateless
 }
 
+// ClassSignature implements graph.SignatureCatalog: it returns the
+// class's registered interface signature ("" when unconstrained or
+// unknown).
+func (r *Registry) ClassSignature(class string) string {
+	return r.classes[class].Signature
+}
+
 // InitContext is handed to Component.Init. It exposes the instance's
 // parameters, its data-parallel position, and simulator facilities.
 type InitContext struct {
 	name    string
 	params  map[string]string
+	solved  map[string]string // format-solver-inferred params (fallback)
 	slice   int
 	nslices int
 	app     *App
+}
+
+// lookup resolves a parameter: explicit spec parameters win, then the
+// values the format solver inferred for this component (generic
+// components specialised by their context; see ClassSpec.Signature).
+func (ic *InitContext) lookup(name string) (string, bool) {
+	if v, ok := ic.params[name]; ok {
+		return v, true
+	}
+	v, ok := ic.solved[name]
+	return v, ok
 }
 
 // Name returns the unique instance name.
@@ -151,15 +198,14 @@ func (ic *InitContext) Slice() int { return ic.slice }
 func (ic *InitContext) NSlices() int { return ic.nslices }
 
 // Param returns the raw value of an initialization parameter and
-// whether it was supplied.
+// whether it was supplied (explicitly or by the format solver).
 func (ic *InitContext) Param(name string) (string, bool) {
-	v, ok := ic.params[name]
-	return v, ok
+	return ic.lookup(name)
 }
 
 // StringParam returns a string parameter or def when absent.
 func (ic *InitContext) StringParam(name, def string) string {
-	if v, ok := ic.params[name]; ok {
+	if v, ok := ic.lookup(name); ok {
 		return v
 	}
 	return def
@@ -168,7 +214,7 @@ func (ic *InitContext) StringParam(name, def string) string {
 // IntParam returns an integer parameter or def when absent. It fails
 // on a malformed value.
 func (ic *InitContext) IntParam(name string, def int) (int, error) {
-	v, ok := ic.params[name]
+	v, ok := ic.lookup(name)
 	if !ok {
 		return def, nil
 	}
@@ -181,7 +227,7 @@ func (ic *InitContext) IntParam(name string, def int) (int, error) {
 
 // RequireInt returns an integer parameter, failing when absent.
 func (ic *InitContext) RequireInt(name string) (int, error) {
-	if _, ok := ic.params[name]; !ok {
+	if _, ok := ic.lookup(name); !ok {
 		return 0, fmt.Errorf("hinch: %s: missing required parameter %q", ic.name, name)
 	}
 	return ic.IntParam(name, 0)
@@ -189,7 +235,7 @@ func (ic *InitContext) RequireInt(name string) (int, error) {
 
 // Uint64Param returns a uint64 parameter or def when absent.
 func (ic *InitContext) Uint64Param(name string, def uint64) (uint64, error) {
-	v, ok := ic.params[name]
+	v, ok := ic.lookup(name)
 	if !ok {
 		return def, nil
 	}

@@ -52,6 +52,9 @@ type StreamDecl struct {
 	H     int    `xml:"height,attr"`
 	Cap   int    `xml:"cap,attr"`
 	Depth int    `xml:"depth,attr"`
+	// Format is an optional ground format term (internal/format
+	// grammar) declaring what flows on the stream.
+	Format string `xml:"format,attr"`
 }
 
 // Procedure is a <procedure>: a named, parameterised subgraph.
@@ -88,6 +91,7 @@ type Component struct {
 	OnError   string // failure policy attribute (fail | skip-iteration | retry:N[,backoff=Kx])
 	Deadline  string // per-job budget attribute (Go duration)
 	Replicate string // replica width attribute (positive integer | auto)
+	Interface string // interface signature override (internal/format grammar)
 }
 
 // StreamRef connects a component port to a stream.
@@ -251,7 +255,7 @@ func decodeComponent(d *xml.Decoder, start xml.StartElement) (*Component, error)
 	c := &Component{
 		Name: attr(start, "name"), Class: attr(start, "class"),
 		OnError: attr(start, "on_error"), Deadline: attr(start, "deadline"),
-		Replicate: attr(start, "replicate"),
+		Replicate: attr(start, "replicate"), Interface: attr(start, "interface"),
 	}
 	err := decodeChildren(d, start, func(dd *xml.Decoder, s xml.StartElement) error {
 		switch s.Name.Local {

@@ -33,6 +33,7 @@ func Elaborate(doc *Doc) (*graph.Program, error) {
 		seen[s.Name] = true
 		prog.Streams = append(prog.Streams, graph.StreamDecl{
 			Name: s.Name, Type: s.Type, W: s.W, H: s.H, Cap: s.Cap, Depth: s.Depth,
+			Format: s.Format,
 		})
 	}
 	prog.Queues = append(prog.Queues, doc.Queues...)
@@ -168,6 +169,13 @@ func (el *elaborator) component(c *Component, prefix string, e env) (*graph.Node
 			return nil, err
 		}
 		n.Params[graph.ReplicateParam] = v
+	}
+	if c.Interface != "" {
+		v, err := subst(c.Interface, e, where)
+		if err != nil {
+			return nil, err
+		}
+		n.Params[graph.InterfaceParam] = v
 	}
 	return n, nil
 }

@@ -38,6 +38,9 @@ func EmitXML(prog *graph.Program) (string, error) {
 			if s.Depth != 0 {
 				fmt.Fprintf(&b, " depth=\"%d\"", s.Depth)
 			}
+			if s.Format != "" {
+				fmt.Fprintf(&b, " format=%q", xmlEscape(s.Format))
+			}
 			b.WriteString("/>\n")
 		}
 		b.WriteString("  </streams>\n")
@@ -75,12 +78,15 @@ func emitXMLNode(b *strings.Builder, n *graph.Node, depth int) error {
 		if v, ok := n.Params[graph.ReplicateParam]; ok {
 			fmt.Fprintf(b, " replicate=%q", xmlEscape(v))
 		}
+		if v, ok := n.Params[graph.InterfaceParam]; ok {
+			fmt.Fprintf(b, " interface=%q", xmlEscape(v))
+		}
 		b.WriteString(">\n")
 		for _, port := range sortedKeysOf(n.Ports) {
 			fmt.Fprintf(b, "%s  <stream port=%q name=%q/>\n", ind, port, n.Ports[port])
 		}
 		for _, p := range sortedKeysOf(n.Params) {
-			if p == graph.ReconfigParam || p == graph.OnErrorParam || p == graph.DeadlineParam || p == graph.ReplicateParam {
+			if p == graph.ReconfigParam || p == graph.OnErrorParam || p == graph.DeadlineParam || p == graph.ReplicateParam || p == graph.InterfaceParam {
 				continue
 			}
 			fmt.Fprintf(b, "%s  <init name=%q value=%q/>\n", ind, p, xmlEscape(n.Params[p]))

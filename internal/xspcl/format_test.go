@@ -1,0 +1,104 @@
+package xspcl
+
+import (
+	"strings"
+	"testing"
+
+	"xspcl/internal/graph"
+)
+
+// formatDoc declares a typed-stream pipeline the way a user writes it:
+// a format= term on a stream and an interface= signature override on a
+// component.
+const formatDoc = `
+<xspcl name="fmt">
+  <streams>
+    <stream name="a" type="frame" width="64" height="64"/>
+    <stream name="b" format="yuv420(32,32)"/>
+  </streams>
+  <procedure name="main">
+    <body>
+      <component name="src" class="gensrc">
+        <stream port="out" name="a"/>
+      </component>
+      <component name="ds" class="genscale" interface="in: L(W,H); out: L(W/K,H/K); where K=factor">
+        <stream port="in" name="a"/>
+        <stream port="out" name="b"/>
+      </component>
+      <component name="snk" class="gensink">
+        <stream port="in" name="b"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>`
+
+func TestFormatAttrsElaborate(t *testing.T) {
+	prog := mustLoad(t, formatDoc)
+	var decl graph.StreamDecl
+	for _, s := range prog.Streams {
+		if s.Name == "b" {
+			decl = s
+		}
+	}
+	if decl.Format != "yuv420(32,32)" {
+		t.Fatalf("stream b Format = %q", decl.Format)
+	}
+	var ds *graph.Node
+	graph.Walk(prog.Root, func(n *graph.Node) {
+		if n.Kind == graph.KindComponent && n.Name == "ds" {
+			ds = n
+		}
+	})
+	if ds == nil {
+		t.Fatal("component ds not elaborated")
+	}
+	if got := ds.Params[graph.InterfaceParam]; got != "in: L(W,H); out: L(W/K,H/K); where K=factor" {
+		t.Fatalf("@interface param = %q", got)
+	}
+}
+
+// TestFormatAttrsRoundTrip: format= and interface= survive
+// emit → parse → emit unchanged (as attributes, not init params).
+func TestFormatAttrsRoundTrip(t *testing.T) {
+	prog := mustLoad(t, formatDoc)
+	if err := VerifyRoundTrip(prog); err != nil {
+		t.Fatal(err)
+	}
+	xml, err := EmitXML(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`format="yuv420(32,32)"`,
+		`interface="in: L(W,H); out: L(W/K,H/K); where K=factor"`,
+	} {
+		if !strings.Contains(xml, want) {
+			t.Fatalf("emitted XML missing %s:\n%s", want, xml)
+		}
+	}
+	if strings.Contains(xml, "@interface") {
+		t.Fatalf("reserved param name leaked into the XML:\n%s", xml)
+	}
+}
+
+// TestFormatAttrsRejected: malformed or ill-scoped format attributes
+// fail at load time with a pointed message.
+func TestFormatAttrsRejected(t *testing.T) {
+	for _, tc := range []struct{ name, old, new, wantErr string }{
+		{"malformed term", `format="yuv420(32,32)"`, `format="yuv420(32"`, "format"},
+		{"non-ground term", `format="yuv420(32,32)"`, `format="yuv420(W,32)"`, "must be ground"},
+		{"atom dimension", `format="yuv420(32,32)"`, `format="yuv420(32,gray)"`, "numeric position"},
+		{"malformed signature", `interface="in: L(W,H); out: L(W/K,H/K); where K=factor"`, `interface="in L(W,H)"`, "interface"},
+		{"unconnected port", `interface="in: L(W,H); out: L(W/K,H/K); where K=factor"`, `interface="side: F"`, "does not connect"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := strings.Replace(formatDoc, tc.old, tc.new, 1)
+			if doc == formatDoc {
+				t.Fatal("replacement did not apply")
+			}
+			if _, err := Load(doc); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Load error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}

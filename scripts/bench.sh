@@ -19,7 +19,9 @@
 #   - Kernel benches (internal/kernels): downscale / blend / blur fast
 #     paths.
 #   - Analyzer benches (internal/analysis): xspclvet wall time on every
-#     built-in app variant.
+#     built-in app variant — since the formats pass landed this includes
+#     the constraint-based stream-format solver (term unification plus
+#     arithmetic propagation per reachable configuration).
 #
 # Usage:
 #   scripts/bench.sh                # default: benchtime 1s
@@ -154,7 +156,8 @@ else
   run_bench ./internal/kernels/ '.' -benchmem
   # Static-analyzer wall time on every built-in app variant: xspclvet
   # runs on each xspclc invocation, so its cost is part of the perf
-  # trajectory too.
+  # trajectory too. Covers all passes including the stream-format
+  # constraint solver (PassFormats) introduced with typed streams.
   run_bench ./internal/analysis/ 'BenchmarkAnalyze' -benchmem
 fi
 
