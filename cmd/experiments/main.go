@@ -26,9 +26,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
+	"time"
 
 	"xspcl/internal/apps"
 	"xspcl/internal/hinch/trace"
@@ -155,13 +154,12 @@ func runTraced(name string, nodes int, workless bool, out, report, httpAddr stri
 		return err
 	}
 	if httpAddr != "" {
-		ln, err := net.Listen("tcp", httpAddr)
+		sv, err := obs.Start(httpAddr, obs.NewServer(app, rec).Handler())
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", ln.Addr())
-		go http.Serve(ln, obs.NewServer(app, rec).Handler())
+		defer sv.Stop(2 * time.Second)
+		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", sv.Addr())
 	}
 	rep, err := app.Run(v.Frames)
 	if err != nil {

@@ -37,12 +37,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"xspcl/internal/apps"
@@ -153,25 +153,33 @@ func run(cores, frames, pipeline int, backend, builtin string, workless, pin, au
 		return err
 	}
 	if httpAddr != "" {
-		ln, err := net.Listen("tcp", httpAddr)
+		sv, err := obs.Start(httpAddr, obs.NewServer(app, rec).Handler())
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", ln.Addr())
-		go http.Serve(ln, obs.NewServer(app, rec).Handler())
+		defer sv.Stop(2 * time.Second)
+		fmt.Fprintf(os.Stderr, "ops surface on http://%s/\n", sv.Addr())
 	}
 	var watchDone chan struct{}
 	if watchEvery > 0 {
 		watchDone = make(chan struct{})
 		go watchLoop(app, watchEvery, watchDone)
 	}
-	rep, err := app.Run(iters)
+	// Ctrl-C cancels the run instead of killing the process: the
+	// pipeline drains, the partial report prints (outcome=cancelled),
+	// and profiles/traces still flush. A second Ctrl-C kills.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	rep, err := app.RunContext(ctx, iters)
+	stopSignals()
 	if watchDone != nil {
 		close(watchDone)
 	}
 	if err != nil {
 		return err
+	}
+	if rep.Outcome == hinch.OutcomeCancelled {
+		fmt.Fprintln(os.Stderr, "run cancelled; partial report follows")
 	}
 	if rec != nil && traceOut != "" {
 		if err := rec.WriteFile(traceOut); err != nil {

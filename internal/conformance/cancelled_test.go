@@ -1,0 +1,36 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestCancelledConformanceSmoke is the CI gate for cancellation: every
+// smoke seed re-run through the cancellation battery — five
+// byte-identical cancelled sim runs (observation and Perfetto export)
+// plus a wall-clock cancel racing the real backend under schedule
+// perturbation. With CONFORMANCE_SEED=<n> it replays a single seed
+// verbosely, as in TestConformanceSmoke.
+func TestCancelledConformanceSmoke(t *testing.T) {
+	if env := os.Getenv("CONFORMANCE_SEED"); env != "" {
+		seed, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("CONFORMANCE_SEED=%q: %v", env, err)
+		}
+		if err := CheckCancelled(seed, Options{Perturb: true, Logf: t.Logf}); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	for _, seed := range smokeSeeds {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			if err := CheckCancelled(seed, Options{Perturb: true, Workers: []int{2, 8}}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package hinch
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -567,6 +568,21 @@ func (a *App) Tile() *spacecake.Tile { return a.tile }
 // (frames). If iterations <= 0, the application runs until a source
 // component returns EOS. An App can only be run once.
 func (a *App) Run(iterations int) (*Report, error) {
+	return a.RunContext(context.Background(), iterations)
+}
+
+// RunContext executes like Run, additionally honouring ctx: when it is
+// cancelled (or its deadline passes), the run stops launching
+// iterations, cancels every in-flight one, drains the pipeline through
+// the normal retirement path — stream buffers and iteration state
+// return to their pools, workers join, nothing leaks — and returns the
+// partial Report with Outcome = OutcomeCancelled and a nil error.
+// Cancellation is cooperative: the sim backend observes it at one fixed
+// point per event-loop turn (a virtual-cycle boundary, so a cancel
+// raised from inside the simulation is fully deterministic), the real
+// backend through a watcher goroutine joined before RunContext returns,
+// plus the interruptible retry-backoff and injected-delay sleeps.
+func (a *App) RunContext(ctx context.Context, iterations int) (*Report, error) {
 	if a.ran {
 		return nil, fmt.Errorf("hinch: app already ran")
 	}
@@ -576,6 +592,9 @@ func (a *App) Run(iterations int) (*Report, error) {
 	}
 	e := a.eng
 	e.limit = iterations
+	if ctx != nil {
+		e.ctxDone = ctx.Done()
+	}
 	var rep *Report
 	var err error
 	switch a.cfg.Backend {

@@ -27,7 +27,15 @@ type job struct {
 // is single-threaded, so the atomics are uncontended there and the
 // discrete-event schedule stays deterministic.
 type iterState struct {
-	iter      int
+	// iter is the iteration this state currently represents. It is
+	// atomic because iterAt probes ring slots without mu and validates
+	// against it: a stale pointer (loaded just before retire freed the
+	// slot) may observe the state mid-recycle. launch stores iter LAST
+	// in the recycle sequence, so a probe that reads the new value is
+	// guaranteed (seq-cst store/load pairing) to see every other field
+	// already reset for the new iteration; any other value makes the
+	// probe reject the state. Written only under mu.
+	iter      atomic.Int64
 	plan      *graph.Plan
 	remaining []atomic.Int32 // unmet dependency count per task
 	done      []atomic.Bool
@@ -128,6 +136,13 @@ type engine struct {
 	limit      int // iterations to run; -1 = until EOS
 	stopLaunch int // first iteration index invalidated by EOS; -1 = none
 	processed  int
+
+	// ctxDone is the run context's done channel (nil when the run was
+	// started without one); cancelled records that noteCancel ran.
+	// Immutable once RunContext sets it, so the per-boundary probes are
+	// lock-free.
+	ctxDone   <-chan struct{}
+	cancelled atomic.Bool
 
 	mgrs      map[string]*mgrState
 	reconfigs int
@@ -400,7 +415,7 @@ func (e *engine) iterAt(k int) *iterState {
 		return nil
 	}
 	st := e.ring[k%len(e.ring)].Load()
-	if st == nil || st.iter != k {
+	if st == nil || st.iter.Load() != int64(k) {
 		return nil
 	}
 	return st
@@ -483,7 +498,6 @@ func (e *engine) launch(w *wsWorker) {
 		if f := len(e.free); f > 0 {
 			it = e.free[f-1]
 			e.free = e.free[:f-1]
-			it.iter = k
 			it.plan = plan
 			for i := range it.done {
 				it.done[i].Store(false)
@@ -495,7 +509,6 @@ func (e *engine) launch(w *wsWorker) {
 			clear(it.optStarted)
 		} else {
 			it = &iterState{
-				iter:       k,
 				plan:       plan,
 				remaining:  make([]atomic.Int32, n),
 				done:       make([]atomic.Bool, n),
@@ -513,6 +526,10 @@ func (e *engine) launch(w *wsWorker) {
 			// iteration's completions.
 			it.remaining[t.ID].Store(int32(len(t.Deps)) + 1)
 		}
+		// Publish the iteration number last: once a concurrent iterAt
+		// probe (which may hold a stale pointer to this state from its
+		// previous life) sees iter == k, every reset above is visible.
+		it.iter.Store(int64(k))
 		slot := &e.ring[k%len(e.ring)]
 		if slot.Load() != nil {
 			panic(fmt.Sprintf("hinch: iteration ring slot %d still occupied at launch of %d", k%len(e.ring), k))
@@ -676,16 +693,17 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 	if e.hooks != nil {
 		e.hooks.Yield(YieldRetire)
 	}
-	e.ring[it.iter%len(e.ring)].Store(nil)
+	k := int(it.iter.Load())
+	e.ring[k%len(e.ring)].Store(nil)
 	e.nIters--
 	if it.acquired.Load() {
 		e.bufActive--
 		for _, s := range e.app.streamList {
-			s.release(it.iter)
+			s.release(k)
 			if e.tr != nil {
 				e.tr.Emit(traceShard(w), TraceEvent{
 					TS: e.traceTS(w), Kind: TraceStreamRelease,
-					Worker: -1, Iter: int32(it.iter), ID: int32(s.idx), Arg: int64(s.nactive.Load()),
+					Worker: -1, Iter: int32(k), ID: int32(s.idx), Arg: int64(s.nactive.Load()),
 				})
 			}
 		}
@@ -713,7 +731,7 @@ func (e *engine) retire(it *iterState, w *wsWorker) {
 		}
 		e.tr.Emit(traceShard(w), TraceEvent{
 			TS: e.traceTS(w), Kind: TraceIterRetire,
-			Worker: int32(traceShard(w) - 1), Iter: int32(it.iter), ID: -1, Arg: arg,
+			Worker: int32(traceShard(w) - 1), Iter: int32(k), ID: -1, Arg: arg,
 		})
 	}
 	e.free = append(e.free, it)
@@ -734,7 +752,7 @@ func (e *engine) checkResumes(w *wsWorker) {
 		}
 		drained := true
 		e.eachIter(func(it *iterState) {
-			if it.iter <= st.gateAfter {
+			if int(it.iter.Load()) <= st.gateAfter {
 				drained = false
 			}
 		})
@@ -778,7 +796,7 @@ func (e *engine) noteEOS(k int) {
 		e.stopLaunch = k
 	}
 	e.eachIter(func(it *iterState) {
-		if it.iter >= k {
+		if int(it.iter.Load()) >= k {
 			it.cancelled.Store(true)
 		}
 	})
@@ -1180,8 +1198,12 @@ func (e *engine) runPolicied(rc *RunContext, j job, inst *instance, sim bool) ru
 				// itself then runs normally.
 				if sim {
 					out.virtual += int64(f.Delay)
-				} else {
-					time.Sleep(f.Delay)
+				} else if !e.sleepInterruptible(f.Delay) {
+					// Cancelled mid-spike: skip the attempt entirely —
+					// the iteration is cancelled, the job completes as a
+					// no-op and the pipeline drains.
+					e.abortSleep()
+					return out
 				}
 				f = Fault{}
 			}
@@ -1210,13 +1232,18 @@ func (e *engine) runPolicied(rc *RunContext, j job, inst *instance, sim bool) ru
 			})
 		}
 		if pol.Action == graph.PolicyRetry && attempt < pol.Retries {
-			out.retries++
 			back := pol.BackoffAt(attempt)
 			if sim {
 				out.virtual += int64(back)
-			} else {
-				time.Sleep(back)
+			} else if !e.sleepInterruptible(back) {
+				// Cancelled mid-backoff: the re-attempt never happens,
+				// so it must not count in Report.Retries. The failed
+				// attempt above already counted as a fault; the job
+				// completes as a no-op of its (now cancelled) iteration.
+				e.abortSleep()
+				return out
 			}
+			out.retries++
 			if e.tr != nil {
 				e.tr.Emit(rc.shard, TraceEvent{
 					TS: e.rcTS(rc.shard), Kind: TraceRetry,
@@ -1315,6 +1342,7 @@ func (e *engine) handleRunError(j job, err error) {
 // fully stopped.
 func (e *engine) report() *Report {
 	r := &Report{
+		Outcome:       OutcomeCompleted,
 		Iterations:    e.processed,
 		Jobs:          e.app.metrics.jobs.Load(),
 		Cores:         e.app.cfg.Cores,
@@ -1322,6 +1350,9 @@ func (e *engine) report() *Report {
 		Reconfigs:     e.reconfigs,
 		ReconfigStall: e.stall,
 		EventsEmitted: e.app.metrics.eventsEmitted.Load(),
+	}
+	if e.cancelled.Load() {
+		r.Outcome = OutcomeCancelled
 	}
 	r.Degradations = e.app.metrics.degradations.Load()
 	for k, v := range e.perClass {

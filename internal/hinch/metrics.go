@@ -43,8 +43,23 @@ type SchedStats struct {
 	Chained int64 `json:"chained"`
 }
 
+// Outcome classifies how a run ended. A run that returns an error has
+// no meaningful outcome; a run that returns a Report is either
+// completed (ran to its iteration limit or EOS) or cancelled (the
+// RunContext context fired and the pipeline drained early — the Report
+// then covers the iterations processed before the cut).
+type Outcome string
+
+// Run outcomes.
+const (
+	OutcomeCompleted Outcome = "completed"
+	OutcomeCancelled Outcome = "cancelled"
+)
+
 // Report summarises one App.Run.
 type Report struct {
+	// Outcome says whether the run completed or was cancelled.
+	Outcome Outcome
 	// Iterations actually processed (excluding cancelled ones after EOS).
 	Iterations int
 	// Cycles is the virtual completion time on the sim backend.
@@ -143,6 +158,9 @@ func (r *Report) Utilisation() float64 {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "iterations=%d jobs=%d cores=%d", r.Iterations, r.Jobs, r.Cores)
+	if r.Outcome == OutcomeCancelled {
+		fmt.Fprintf(&b, " outcome=%s", r.Outcome)
+	}
 	if r.Cycles > 0 {
 		fmt.Fprintf(&b, " cycles=%d (%.0f/iter, util %.0f%%)", r.Cycles, r.CyclesPerIteration(), 100*r.Utilisation())
 	}
@@ -205,6 +223,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		StreamedLines int64 `json:"streamed_lines"`
 	}
 	type reportJSON struct {
+		Outcome            string                `json:"outcome"`
 		Iterations         int                   `json:"iterations"`
 		Cycles             int64                 `json:"cycles"`
 		CyclesPerIteration float64               `json:"cycles_per_iteration"`
@@ -227,7 +246,12 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		IterLat            *StageLat             `json:"iter_latency,omitempty"`
 		Stalls             int64                 `json:"stalls,omitempty"`
 	}
+	out := r.Outcome
+	if out == "" {
+		out = OutcomeCompleted
+	}
 	return json.Marshal(reportJSON{
+		Outcome:            string(out),
 		Iterations:         r.Iterations,
 		Cycles:             r.Cycles,
 		CyclesPerIteration: r.CyclesPerIteration(),

@@ -39,8 +39,42 @@ func (e *engine) runReal() (*Report, error) {
 	}
 
 	e.mu.Lock()
+	if e.ctxDone != nil {
+		// A context cancelled before the run starts launches nothing:
+		// noteCancel caps stopLaunch at zero, so the pre-cancelled case
+		// deterministically processes zero iterations on this backend
+		// too, not just on sim.
+		select {
+		case <-e.ctxDone:
+			e.noteCancel()
+		default:
+		}
+	}
 	e.launch(nil)
 	e.mu.Unlock()
+
+	// The cancellation watcher mirrors the tuner/watchdog tickers: one
+	// goroutine, stopped and joined before runReal returns, so a
+	// cancelled run leaks nothing. The sweep itself rides the engine
+	// lock like every other slow path.
+	var cnStop, cnDone chan struct{}
+	if e.ctxDone != nil {
+		cnStop, cnDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(cnDone)
+			select {
+			case <-e.ctxDone:
+				// The sweep creates no new work — it only turns queued
+				// jobs into no-ops — so no parked worker needs waking:
+				// work already queued has had its wake, and workers
+				// sleeping in a policy backoff watch ctxDone themselves.
+				e.mu.Lock()
+				e.noteCancel()
+				e.mu.Unlock()
+			case <-cnStop:
+			}
+		}()
+	}
 
 	// The autotuner samples on a wall-clock ticker, under the engine
 	// lock — resizes ride the same slow path as reconfigurations.
@@ -97,6 +131,24 @@ func (e *engine) runReal() (*Report, error) {
 		e.runWorker(e.ws.workers[0])
 	}
 	wg.Wait()
+	if cnStop != nil {
+		close(cnStop)
+		<-cnDone
+		// If the context fired while the watcher raced run teardown, the
+		// select above may have taken the stop arm without sweeping.
+		// Nothing is left to sweep — execution stopped — but the report
+		// must still say cancelled when a policy sleep was aborted, and
+		// a cancel that lost the race against natural completion is
+		// recorded too (either outcome would have been valid; claiming
+		// the one the caller asked for is the consistent choice).
+		select {
+		case <-e.ctxDone:
+			e.mu.Lock()
+			e.noteCancel()
+			e.mu.Unlock()
+		default:
+		}
+	}
 	if e.tu != nil {
 		// Stopped before the tracer ends: tuneEpoch emits trace events.
 		close(tuStop)
@@ -170,6 +222,10 @@ func (e *engine) runWorker(w *wsWorker) {
 		if s.done.Load() {
 			return
 		}
+		// Dispatch-boundary cancellation probe: a fired run context is
+		// swept within one job per worker (the watcher goroutine in
+		// runReal covers workers that are parked or mid-component).
+		e.pollCancelReal()
 		var j job
 		var ok bool
 		if w.hasNext {

@@ -58,6 +58,12 @@ func (e *engine) runSim() (*Report, error) {
 	}
 	e.launch(nil)
 	for {
+		// The cancellation observation point: once per event-loop turn,
+		// before dispatch, so a cancel always lands on a virtual-cycle
+		// boundary (and a cancel raised synchronously from inside a
+		// component or fault injector is observed at a deterministic
+		// place in the schedule).
+		e.pollCancel()
 		// Dispatch ready jobs onto idle cores in FIFO order, lowest core
 		// first (deterministic).
 		for nIdle > 0 {

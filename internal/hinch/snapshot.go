@@ -48,6 +48,10 @@ type Snapshot struct {
 	Stalled bool  `json:"stalled"`
 	Stalls  int64 `json:"stalls"`
 
+	// Cancelled reports that the run's context fired and the pipeline
+	// is draining (or drained) early. Always live, like Jobs.
+	Cancelled bool `json:"cancelled"`
+
 	// IterLat is the launch->retire latency histogram; StealTake and
 	// ParkDur profile the scheduler (real backend).
 	IterLat   *HistSnap `json:"iter_latency,omitempty"`
@@ -110,6 +114,7 @@ func (a *App) Snapshot() Snapshot {
 		return s
 	}
 	s.StreamCap = int(e.bufCap.Load())
+	s.Cancelled = e.cancelled.Load()
 	if e.tu != nil {
 		s.Tune = e.tu.pub.Load()
 	}

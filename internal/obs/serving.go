@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serving is a started ops HTTP server with a real shutdown path. The
+// previous idiom — `go http.Serve(ln, h)` with a deferred ln.Close() —
+// tore the listener out from under in-flight requests and leaked the
+// serve goroutine until the process exited; Serving drains through
+// http.Server.Shutdown with a deadline instead, and Stop does not
+// return until the serve goroutine has.
+type Serving struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+	err  error // serve error other than ErrServerClosed; read after done
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// h in a background goroutine. Callers stop it with Stop; abandoning a
+// Serving leaks its goroutine, same as any server.
+func Start(addr string, h http.Handler) (*Serving, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Serving{
+		srv:  &http.Server{Handler: h},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(sv.done)
+		if err := sv.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			sv.err = err
+		}
+	}()
+	return sv, nil
+}
+
+// Addr is the bound listen address — useful with port 0.
+func (s *Serving) Addr() string { return s.ln.Addr().String() }
+
+// Stop shuts the server down gracefully: no new connections, in-flight
+// requests get up to timeout to finish, then stragglers are closed
+// hard. It returns after the serve goroutine has exited, so a
+// stop/start cycle on the same address never races the old listener.
+func (s *Serving) Stop(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline blown (or the context machinery failed):
+		// force-close the remaining connections so done is reachable.
+		s.srv.Close()
+	}
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.err
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServingStartStopRestart(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong\n")
+	})
+
+	sv, err := Start("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sv.Addr()
+	if code, body := get(t, "http://"+addr+"/ping"); code != 200 || body != "pong\n" {
+		t.Fatalf("first cycle: got %d %q", code, body)
+	}
+	if err := sv.Stop(2 * time.Second); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/ping"); err == nil {
+		t.Fatal("server still answering after Stop")
+	}
+
+	// Restart on the very same address: Stop released the port and
+	// joined the serve goroutine, so this must not flake.
+	sv2, err := Start(addr, mux)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	if code, _ := get(t, "http://"+addr+"/ping"); code != 200 {
+		t.Fatalf("second cycle: status %d", code)
+	}
+	if err := sv2.Stop(2 * time.Second); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+func TestServingStopDeadline(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		started <- struct{}{}
+		<-release
+	})
+	sv, err := Start("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	go http.Get("http://" + sv.Addr() + "/slow")
+	<-started
+
+	// The in-flight handler never finishes; Stop must give up at its
+	// deadline, force-close, and still join the serve goroutine.
+	begin := time.Now()
+	err = sv.Stop(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Stop returned nil despite a stuck in-flight request")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("Stop error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("Stop blocked %v past its deadline", elapsed)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"xspcl/internal/serve"
+)
+
+// SupervisorServer serves the ops surface for a serve.Supervisor — the
+// pool-level view, where Server is the single-app view:
+//
+//	/metrics   supervisor counters in Prometheus text exposition
+//	/statusz   Stats plus the per-session table as indented JSON
+//	/healthz   200 while healthy; 503 while draining or when any
+//	           running session's progress watchdog is firing
+//
+// The dependency points one way: this package imports serve, never the
+// reverse, so the supervisor stays embeddable without HTTP.
+type SupervisorServer struct {
+	sup *serve.Supervisor
+}
+
+// NewSupervisorServer wraps sup for serving.
+func NewSupervisorServer(sup *serve.Supervisor) *SupervisorServer {
+	return &SupervisorServer{sup: sup}
+}
+
+// Handler returns the supervisor ops mux; all handlers are safe while
+// sessions run and settle.
+func (s *SupervisorServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/statusz", s.statusz)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.index)
+	return mux
+}
+
+func (s *SupervisorServer) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	io.WriteString(w, "xspcl supervisor ops surface\n\n/metrics\n/statusz\n/healthz\n/debug/pprof/\n")
+}
+
+// supervisorStatus is the /statusz body: the exact accounting plus the
+// per-session table in admission order.
+type supervisorStatus struct {
+	Stats    serve.Stats    `json:"stats"`
+	Stalled  int            `json:"stalled_sessions"`
+	Sessions []serve.Status `json:"sessions"`
+}
+
+func (s *SupervisorServer) statusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(supervisorStatus{
+		Stats:    s.sup.Stats(),
+		Stalled:  s.sup.StalledSessions(),
+		Sessions: s.sup.Sessions(),
+	})
+}
+
+func (s *SupervisorServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.sup.Stats()
+	stalled := s.sup.StalledSessions()
+	if stalled > 0 || st.Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: stalled_sessions=%d draining=%v\n", stalled, st.Draining)
+		return
+	}
+	fmt.Fprintf(w, "ok: running=%d queued=%d\n", st.Running, st.Queued)
+}
+
+func (s *SupervisorServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	RenderSupervisorMetrics(w, s.sup.Stats(), s.sup.StalledSessions())
+}
+
+// RenderSupervisorMetrics writes the supervisor counters in the
+// Prometheus text exposition format — a pure function of its inputs.
+func RenderSupervisorMetrics(w io.Writer, st serve.Stats, stalled int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xspcl_sessions_submitted_total", "Session submissions.", st.Submitted)
+	counter("xspcl_sessions_admitted_total", "Submissions admitted (run or queued).", st.Admitted)
+	counter("xspcl_sessions_rejected_total", "Submissions rejected (overloaded or draining).", st.Rejected)
+	counter("xspcl_sessions_completed_total", "Sessions that finished cleanly.", st.Completed)
+	counter("xspcl_sessions_degraded_total", "Sessions that finished degraded.", st.Degraded)
+	counter("xspcl_sessions_cancelled_total", "Sessions cancelled (caller, deadline, or drain).", st.Cancelled)
+	counter("xspcl_sessions_failed_total", "Sessions that failed (error or contained panic).", st.Failed)
+	gauge("xspcl_sessions_running", "Sessions currently running.", int64(st.Running))
+	gauge("xspcl_sessions_queued", "Sessions waiting in the admission queue.", int64(st.Queued))
+	gauge("xspcl_sessions_stalled", "Running sessions whose progress watchdog is firing.", int64(stalled))
+	gauge("xspcl_workers_in_use", "Worker share claimed by running sessions.", int64(st.WorkersInUse))
+	draining := int64(0)
+	if st.Draining {
+		draining = 1
+	}
+	gauge("xspcl_draining", "1 after Drain began.", draining)
+}

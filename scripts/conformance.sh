@@ -24,7 +24,7 @@ MODE="${1:-smoke}"
 if [[ -n "${CONFORMANCE_SEED:-}" ]]; then
   echo ">> replaying seed $CONFORMANCE_SEED" >&2
   exec go test ./internal/conformance/ -race -count=1 -v \
-    -run 'TestConformanceSmoke'
+    -run 'TestConformanceSmoke|TestCancelledConformanceSmoke'
 fi
 
 case "$MODE" in
@@ -34,7 +34,7 @@ smoke)
   # conformance_test.go includes seeds that reproduce every scheduler
   # bug the harness has caught so far.
   go test ./internal/conformance/ -race -count=1 \
-    -run 'TestConformanceSmoke|TestConformanceTracedSmoke|TestGeneratedProgramsValid|TestOracleMatchesSim'
+    -run 'TestConformanceSmoke|TestConformanceTracedSmoke|TestCancelledConformanceSmoke|TestGeneratedProgramsValid|TestOracleMatchesSim'
   ;;
 long)
   COUNT="${CONFORMANCE_COUNT:-300}"

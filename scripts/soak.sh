@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# soak.sh — session-supervisor soak harness (internal/serve +
+# cmd/xspclserve). Two modes:
+#
+#   scripts/soak.sh         # smoke: CI gate, -race, a few minutes
+#   scripts/soak.sh long    # long: thousands of sessions, race binary
+#
+# Smoke runs the supervisor unit suite and the 220-session in-process
+# soak under the race detector, then drives the xspclserve load
+# generator twice: once with the default limits (queueing pressure) and
+# once with a tight queue (fast-rejection pressure). The generator
+# audits its own accounting and exits non-zero on any mismatch, so a
+# pass here means admission, backpressure, cancellation and drain all
+# kept exact books.
+#
+# Long-mode knobs (env):
+#   SOAK_SESSIONS  sessions per generator run (default 2000)
+#   SOAK_SEED      load-mix seed (default 1)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+
+case "$MODE" in
+smoke)
+  echo ">> supervisor unit + soak tests, -race" >&2
+  go test ./internal/serve/ -race -count=1
+  echo ">> cancellation lifecycle tests, -race" >&2
+  go test ./internal/hinch/ -race -count=1 -run 'TestRunContext'
+  echo ">> load generator: queueing pressure" >&2
+  go run ./cmd/xspclserve -sessions 220 -cancel 0.25
+  echo ">> load generator: fast-rejection pressure" >&2
+  go run ./cmd/xspclserve -sessions 220 -queue 2 -pace 200us -cancel 0.3
+  ;;
+long)
+  SESSIONS="${SOAK_SESSIONS:-2000}"
+  SEED="${SOAK_SEED:-1}"
+  echo ">> long soak: $SESSIONS sessions, race-instrumented binary" >&2
+  go run -race ./cmd/xspclserve -sessions "$SESSIONS" -seed "$SEED" \
+    -cancel 0.25 -report json
+  echo ">> long soak: deadline pressure (50ms per session)" >&2
+  go run -race ./cmd/xspclserve -sessions "$SESSIONS" -seed "$((SEED + 1))" \
+    -deadline 50ms -cancel 0.1 -report json
+  ;;
+*)
+  echo "usage: scripts/soak.sh [smoke|long]" >&2
+  exit 2
+  ;;
+esac
